@@ -1,0 +1,340 @@
+// Package repro's root benchmark file regenerates every figure and
+// table of the paper's evaluation (§9) as testing.B benchmarks — one
+// benchmark family per experiment row of DESIGN.md §3:
+//
+//	E1–E3  BenchmarkFig17{Contains,Insert,Remove}   (Fig. 17 a–c)
+//	E4     BenchmarkSeqCompare*                     (§9 in-text table)
+//	A1/A3  BenchmarkAblationTraverse*               (§4.1 vs §4.2, smooth vs not)
+//	A2     BenchmarkAblationRebuildC*               (§7.1 rebuild constant)
+//	A4     BenchmarkBaselineTreap*                  (batched treap baseline)
+//
+// Benchmarks run at container-friendly sizes (n ≈ 10⁶, m = 2·10⁵);
+// cmd/pbench runs the same experiments at configurable scale and
+// prints the paper-style tables. Shapes — who wins, scaling slope —
+// are what transfer; see EXPERIMENTS.md.
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/iseq"
+	"repro/internal/parallel"
+	"repro/internal/rbtree"
+	"repro/internal/skiplist"
+	"repro/internal/treap"
+)
+
+// benchWorkload is the shared workload of all root benchmarks: tree of
+// ≈10⁶ keys (every integer of [−10⁶, 10⁶] with probability ½), batches
+// of 2·10⁵ uniform keys — the paper's §9 setup at 1/100 scale.
+var benchWorkload = bench.Workload{N: 1_000_000, M: 200_000, Seed: 0x5eed}
+
+var (
+	fixtureOnce sync.Once
+	baseKeys    []int64
+	batches     [][]int64
+)
+
+func fixtures() ([]int64, [][]int64) {
+	fixtureOnce.Do(func() {
+		w := benchWorkload.WithDefaults()
+		baseKeys = w.BaseKeys()
+		batches = make([][]int64, 16)
+		for i := range batches {
+			batches[i] = w.Batch(i)
+		}
+	})
+	return baseKeys, batches
+}
+
+var fig17Workers = []int{1, 2, 4, 8, 16}
+
+// E1 / Fig. 17a: ContainsBatched time versus worker count.
+func BenchmarkFig17Contains(b *testing.B) {
+	base, bat := fixtures()
+	for _, w := range fig17Workers {
+		b.Run(workersName(w), func(b *testing.B) {
+			tree := core.NewFromSorted(core.Config{}, parallel.NewPool(w), base)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tree.ContainsBatched(bat[i%len(bat)])
+			}
+			reportKeysPerSec(b, benchWorkload.M)
+		})
+	}
+}
+
+// E2 / Fig. 17b: InsertBatched time versus worker count. Every
+// iteration starts from a freshly built tree (excluded from timing).
+func BenchmarkFig17Insert(b *testing.B) {
+	base, bat := fixtures()
+	for _, w := range fig17Workers {
+		b.Run(workersName(w), func(b *testing.B) {
+			pool := parallel.NewPool(w)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				tree := core.NewFromSorted(core.Config{}, pool, base)
+				b.StartTimer()
+				tree.InsertBatched(bat[i%len(bat)])
+			}
+			reportKeysPerSec(b, benchWorkload.M)
+		})
+	}
+}
+
+// E3 / Fig. 17c: RemoveBatched time versus worker count.
+func BenchmarkFig17Remove(b *testing.B) {
+	base, bat := fixtures()
+	for _, w := range fig17Workers {
+		b.Run(workersName(w), func(b *testing.B) {
+			pool := parallel.NewPool(w)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				tree := core.NewFromSorted(core.Config{}, pool, base)
+				b.StartTimer()
+				tree.RemoveBatched(bat[i%len(bat)])
+			}
+			reportKeysPerSec(b, benchWorkload.M)
+		})
+	}
+}
+
+// E4: the §9 sequential comparison — one-worker batched IST versus the
+// scalar O(log n) structures on the same M membership queries.
+func BenchmarkSeqCompareISTBatched(b *testing.B) {
+	base, bat := fixtures()
+	tree := core.NewFromSorted(core.Config{}, nil, base)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.ContainsBatched(bat[i%len(bat)])
+	}
+	reportKeysPerSec(b, benchWorkload.M)
+}
+
+func BenchmarkSeqCompareISTScalar(b *testing.B) {
+	base, bat := fixtures()
+	tree := iseq.NewFromSorted(iseq.Config{}, base)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, k := range bat[i%len(bat)] {
+			tree.Contains(k)
+		}
+	}
+	reportKeysPerSec(b, benchWorkload.M)
+}
+
+func BenchmarkSeqCompareRBTree(b *testing.B) {
+	base, bat := fixtures()
+	tree := rbtree.New[int64]()
+	for _, k := range base {
+		tree.Insert(k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, k := range bat[i%len(bat)] {
+			tree.Contains(k)
+		}
+	}
+	reportKeysPerSec(b, benchWorkload.M)
+}
+
+func BenchmarkSeqCompareSkipList(b *testing.B) {
+	base, bat := fixtures()
+	l := skiplist.New[int64](1)
+	for _, k := range base {
+		l.Insert(k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, k := range bat[i%len(bat)] {
+			l.Contains(k)
+		}
+	}
+	reportKeysPerSec(b, benchWorkload.M)
+}
+
+// A1 + A3: traversal mode (interpolation vs Rank) crossed with input
+// smoothness (uniform vs clustered).
+func BenchmarkAblationTraverse(b *testing.B) {
+	base, _ := fixtures()
+	pool := parallel.NewPool(8)
+	for _, mode := range []struct {
+		name string
+		tm   core.TraverseMode
+	}{{"interpolation", core.TraverseInterpolation}, {"rank", core.TraverseRank}} {
+		for _, d := range []struct {
+			name     string
+			clusters int
+		}{{"uniform", 0}, {"clustered", 64}} {
+			b.Run(mode.name+"/"+d.name, func(b *testing.B) {
+				w := benchWorkload
+				w.Clusters = d.clusters
+				w = w.WithDefaults()
+				probe := make([][]int64, 4)
+				for i := range probe {
+					probe[i] = w.Batch(100 + i)
+				}
+				tree := core.NewFromSorted(core.Config{Traverse: mode.tm}, pool, base)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					tree.ContainsBatched(probe[i%len(probe)])
+				}
+				reportKeysPerSec(b, benchWorkload.M)
+			})
+		}
+	}
+}
+
+// A2: the rebuild constant C — churn cost versus balance quality.
+func BenchmarkAblationRebuildC(b *testing.B) {
+	base, bat := fixtures()
+	pool := parallel.NewPool(8)
+	for _, c := range []int{1, 2, 4, 8} {
+		b.Run("C"+itoa(c), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				tree := core.NewFromSorted(core.Config{RebuildFactor: c}, pool, base)
+				b.StartTimer()
+				tree.InsertBatched(bat[i%8])
+				tree.RemoveBatched(bat[(i+8)%16])
+			}
+		})
+	}
+}
+
+// A4: PB-IST versus the join-based batched treap on the three batched
+// set operations.
+func BenchmarkBaselineTreapUnion(b *testing.B) {
+	base, bat := fixtures()
+	pool := parallel.NewPool(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		set := treap.NewFromSorted(pool, base)
+		b.StartTimer()
+		set.UnionWith(bat[i%len(bat)])
+	}
+	reportKeysPerSec(b, benchWorkload.M)
+}
+
+func BenchmarkBaselineTreapDifference(b *testing.B) {
+	base, bat := fixtures()
+	pool := parallel.NewPool(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		set := treap.NewFromSorted(pool, base)
+		b.StartTimer()
+		set.DifferenceWith(bat[i%len(bat)])
+	}
+	reportKeysPerSec(b, benchWorkload.M)
+}
+
+func BenchmarkBaselineTreapContains(b *testing.B) {
+	base, bat := fixtures()
+	set := treap.NewFromSorted(parallel.NewPool(8), base)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set.ContainsBatched(bat[i%len(bat)])
+	}
+	reportKeysPerSec(b, benchWorkload.M)
+}
+
+// A5: leaf capacity H (§3.4) — search cost versus leaf size.
+func BenchmarkSweepLeafCap(b *testing.B) {
+	base, bat := fixtures()
+	pool := parallel.NewPool(8)
+	for _, h := range []int{8, 16, 64} {
+		b.Run("H"+itoa(h), func(b *testing.B) {
+			tree := core.NewFromSorted(core.Config{LeafCap: h}, pool, base)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tree.ContainsBatched(bat[i%len(bat)])
+			}
+			reportKeysPerSec(b, benchWorkload.M)
+		})
+	}
+}
+
+// A6: interpolation-index size factor ε (§3.2) — search cost versus
+// index memory.
+func BenchmarkSweepIndexFactor(b *testing.B) {
+	base, bat := fixtures()
+	pool := parallel.NewPool(8)
+	for _, name := range []struct {
+		label  string
+		factor float64
+	}{{"quarter", 0.25}, {"one", 1}, {"four", 4}} {
+		b.Run(name.label, func(b *testing.B) {
+			tree := core.NewFromSorted(core.Config{IndexSizeFactor: name.factor}, pool, base)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tree.ContainsBatched(bat[i%len(bat)])
+			}
+			reportKeysPerSec(b, benchWorkload.M)
+		})
+	}
+}
+
+// A7: batch size m — per-key amortization of the shared traversal.
+func BenchmarkSweepBatchSize(b *testing.B) {
+	base, _ := fixtures()
+	pool := parallel.NewPool(8)
+	tree := core.NewFromSorted(core.Config{}, pool, base)
+	for _, m := range []int{1000, 10000, 100000} {
+		b.Run("m"+itoa(m), func(b *testing.B) {
+			w := benchWorkload.WithDefaults()
+			w.M = m
+			probe := make([][]int64, 4)
+			for i := range probe {
+				probe[i] = w.Batch(300 + i)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tree.ContainsBatched(probe[i%len(probe)])
+			}
+			reportKeysPerSec(b, m)
+		})
+	}
+}
+
+// Bulk-load throughput: the §7.3 parallel ideal build.
+func BenchmarkBuildIdeal(b *testing.B) {
+	base, _ := fixtures()
+	for _, w := range []int{1, 8} {
+		b.Run(workersName(w), func(b *testing.B) {
+			pool := parallel.NewPool(w)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.NewFromSorted(core.Config{}, pool, base)
+			}
+			reportKeysPerSec(b, len(base))
+		})
+	}
+}
+
+func reportKeysPerSec(b *testing.B, keysPerOp int) {
+	b.ReportMetric(float64(keysPerOp)*float64(b.N)/b.Elapsed().Seconds(), "keys/s")
+}
+
+func workersName(w int) string { return "workers_" + itoa(w) }
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

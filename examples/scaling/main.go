@@ -1,0 +1,43 @@
+// Scaling: a compact live rendition of the paper's Fig. 17 — batched
+// operation latency versus worker count on one machine, with ASCII
+// speedup bars. Run cmd/pbench for the full experiment harness.
+//
+//	go run ./examples/scaling
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+func main() {
+	w := bench.Workload{N: 2_000_000, M: 500_000}
+	maxW := runtime.GOMAXPROCS(0)
+	var workers []int
+	for p := 1; p <= maxW; p *= 2 {
+		workers = append(workers, p)
+	}
+	if workers[len(workers)-1] != maxW {
+		workers = append(workers, maxW)
+	}
+
+	fmt.Printf("tree n≈%d, batch m=%d, workers up to %d\n\n", w.N, w.M, maxW)
+	rows := bench.RunFig17(w, core.Config{}, workers, 2)
+
+	fmt.Printf("%-8s %-28s %-28s %-28s\n", "workers", "contains", "insert", "remove")
+	for _, r := range rows {
+		fmt.Printf("%-8d %-28s %-28s %-28s\n", r.Workers,
+			cell(r.ContainsMS, r.SpeedupC),
+			cell(r.InsertMS, r.SpeedupI),
+			cell(r.RemoveMS, r.SpeedupR))
+	}
+}
+
+func cell(ms, speedup float64) string {
+	bar := strings.Repeat("#", int(speedup+0.5))
+	return fmt.Sprintf("%7.1fms %-5s %s", ms, fmt.Sprintf("%.1fx", speedup), bar)
+}

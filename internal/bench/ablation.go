@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"repro/internal/core"
+	"repro/internal/parallel"
+	"repro/internal/treap"
+)
+
+// TraverseRow is one point of ablation A1 (§4.1 vs §4.2): batched
+// search time under the interpolation-search traversal versus the
+// merge-based Rank traversal, on smooth and clustered inputs.
+type TraverseRow struct {
+	Distribution    string
+	InterpolationMS float64
+	RankMS          float64
+}
+
+// RunAblationTraverse compares the two traversal modes on uniform
+// (smooth) and clustered (non-smooth) batches.
+func RunAblationTraverse(w Workload, workers, reps int) []TraverseRow {
+	w = w.WithDefaults()
+	base := w.BaseKeys()
+	pool := parallel.NewPool(workers)
+
+	run := func(cfg core.Config, wl Workload) float64 {
+		tree := core.NewFromSorted(cfg, pool, base)
+		return meanMS(reps, func(rep int) func() {
+			batch := wl.Batch(rep)
+			return func() { tree.ContainsBatched(batch) }
+		})
+	}
+	rows := make([]TraverseRow, 0, 2)
+	for _, d := range []struct {
+		name     string
+		clusters int
+	}{{"uniform", 0}, {"clustered", 64}} {
+		wl := w
+		wl.Clusters = d.clusters
+		rows = append(rows, TraverseRow{
+			Distribution:    d.name,
+			InterpolationMS: run(core.Config{Traverse: core.TraverseInterpolation}, wl),
+			RankMS:          run(core.Config{Traverse: core.TraverseRank}, wl),
+		})
+	}
+	return rows
+}
+
+// RebuildCRow is one point of ablation A2 (§7.1): total time of a
+// sustained insert/remove churn under different rebuild constants C.
+type RebuildCRow struct {
+	C         int
+	ChurnMS   float64
+	FinalHgt  int
+	DeadRatio float64 // dead keys per live key after the churn
+}
+
+// RunAblationRebuildC sweeps the rebuild constant over cs, applying
+// rounds alternating insert/remove batches and reporting total time
+// and final tree quality.
+func RunAblationRebuildC(w Workload, workers, rounds int, cs []int) []RebuildCRow {
+	w = w.WithDefaults()
+	base := w.BaseKeys()
+	pool := parallel.NewPool(workers)
+
+	rows := make([]RebuildCRow, 0, len(cs))
+	for _, c := range cs {
+		tree := core.NewFromSorted(core.Config{RebuildFactor: c}, pool, base)
+		total := 0.0
+		for round := 0; round < rounds; round++ {
+			ins := w.Batch(2 * round)
+			rem := w.Batch(2*round + 1)
+			total += timeMS(func() {
+				tree.InsertBatched(ins)
+				tree.RemoveBatched(rem)
+			})
+		}
+		s := tree.Stats()
+		dead := 0.0
+		if s.LiveKeys > 0 {
+			dead = float64(s.DeadKeys) / float64(s.LiveKeys)
+		}
+		rows = append(rows, RebuildCRow{C: c, ChurnMS: total, FinalHgt: s.Height, DeadRatio: dead})
+	}
+	return rows
+}
+
+// TreapRow is one point of the baseline comparison A4: the PB-IST
+// versus the join-based batched treap on the three batched set
+// operations.
+type TreapRow struct {
+	Op      string
+	ISTMS   float64
+	TreapMS float64
+}
+
+// RunBaselineTreap compares PB-IST batched operations against the
+// parallel treap's equivalent set operations at the given worker
+// count.
+func RunBaselineTreap(w Workload, workers, reps int) []TreapRow {
+	w = w.WithDefaults()
+	base := w.BaseKeys()
+	pool := parallel.NewPool(workers)
+
+	contains := TreapRow{Op: "contains"}
+	insert := TreapRow{Op: "insert/union"}
+	remove := TreapRow{Op: "remove/difference"}
+
+	contains.ISTMS = meanMS(reps, func(rep int) func() {
+		tree := core.NewFromSorted(core.Config{}, pool, base)
+		batch := w.Batch(rep)
+		return func() { tree.ContainsBatched(batch) }
+	})
+	insert.ISTMS = meanMS(reps, func(rep int) func() {
+		tree := core.NewFromSorted(core.Config{}, pool, base)
+		batch := w.Batch(100 + rep)
+		return func() { tree.InsertBatched(batch) }
+	})
+	remove.ISTMS = meanMS(reps, func(rep int) func() {
+		tree := core.NewFromSorted(core.Config{}, pool, base)
+		batch := w.Batch(200 + rep)
+		return func() { tree.RemoveBatched(batch) }
+	})
+
+	contains.TreapMS = meanMS(reps, func(rep int) func() {
+		set := treap.NewFromSorted(pool, base)
+		batch := w.Batch(rep)
+		return func() { set.ContainsBatched(batch) }
+	})
+	insert.TreapMS = meanMS(reps, func(rep int) func() {
+		set := treap.NewFromSorted(pool, base)
+		batch := w.Batch(100 + rep)
+		return func() { set.UnionWith(batch) }
+	})
+	remove.TreapMS = meanMS(reps, func(rep int) func() {
+		set := treap.NewFromSorted(pool, base)
+		batch := w.Batch(200 + rep)
+		return func() { set.DifferenceWith(batch) }
+	})
+	return []TreapRow{contains, insert, remove}
+}

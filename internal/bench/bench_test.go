@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"bytes"
+	"slices"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// tiny returns a workload small enough for unit tests.
+func tiny() Workload {
+	return Workload{N: 20000, M: 4000, Seed: 99}
+}
+
+func TestWorkloadDefaults(t *testing.T) {
+	w := Workload{}.WithDefaults()
+	if w.N != 4_000_000 || w.M != 1_000_000 || w.Seed == 0 {
+		t.Fatalf("unexpected defaults: %+v", w)
+	}
+	lo, hi := w.Range()
+	if lo != -int64(w.N) || hi != int64(w.N) {
+		t.Fatalf("range [%d,%d] not derived from N", lo, hi)
+	}
+}
+
+func TestWorkloadGeneratorsDeterministic(t *testing.T) {
+	w := tiny()
+	if !slices.Equal(w.BaseKeys(), w.BaseKeys()) {
+		t.Fatal("BaseKeys not deterministic")
+	}
+	if !slices.Equal(w.Batch(3), w.Batch(3)) {
+		t.Fatal("Batch not deterministic")
+	}
+	if slices.Equal(w.Batch(1), w.Batch(2)) {
+		t.Fatal("distinct batch indexes must differ")
+	}
+}
+
+func TestWorkloadBaseKeysDensity(t *testing.T) {
+	w := tiny()
+	base := w.BaseKeys()
+	// p = 1/2 over 2N+1 integers: expect ≈ N keys.
+	if len(base) < w.N*9/10 || len(base) > w.N*11/10 {
+		t.Fatalf("base has %d keys, want ≈%d", len(base), w.N)
+	}
+	if !slices.IsSorted(base) {
+		t.Fatal("base keys not sorted")
+	}
+}
+
+func TestWorkloadClusteredBatch(t *testing.T) {
+	w := tiny()
+	w.Clusters = 8
+	b := w.Batch(0)
+	if len(b) != w.M || !slices.IsSorted(b) {
+		t.Fatal("clustered batch malformed")
+	}
+}
+
+func TestRunFig17Shape(t *testing.T) {
+	rows := RunFig17(tiny(), core.Config{}, []int{1, 2}, 1)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	if rows[0].Workers != 1 || rows[1].Workers != 2 {
+		t.Fatal("worker column wrong")
+	}
+	for _, r := range rows {
+		if r.ContainsMS <= 0 || r.InsertMS <= 0 || r.RemoveMS <= 0 {
+			t.Fatalf("non-positive timing in %+v", r)
+		}
+	}
+	if rows[0].SpeedupC != 1 || rows[0].SpeedupI != 1 || rows[0].SpeedupR != 1 {
+		t.Fatal("baseline speedup must be 1")
+	}
+	if rows[1].SpeedupC <= 0 {
+		t.Fatal("speedup not computed")
+	}
+}
+
+func TestRunSeqCompareShape(t *testing.T) {
+	res := RunSeqCompare(tiny(), core.Config{}, 1)
+	if res.ISTBatchedMS <= 0 || res.ISTScalarMS <= 0 || res.RBTreeMS <= 0 || res.SkipListMS <= 0 {
+		t.Fatalf("non-positive timing: %+v", res)
+	}
+	if res.SpeedupVsRB <= 0 || res.SpeedupScalar <= 0 {
+		t.Fatal("speedups not computed")
+	}
+	if res.M != 4000 {
+		t.Fatalf("M = %d, want 4000", res.M)
+	}
+}
+
+func TestRunAblationTraverseShape(t *testing.T) {
+	rows := RunAblationTraverse(tiny(), 2, 1)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	names := []string{rows[0].Distribution, rows[1].Distribution}
+	if !slices.Contains(names, "uniform") || !slices.Contains(names, "clustered") {
+		t.Fatalf("distributions = %v", names)
+	}
+	for _, r := range rows {
+		if r.InterpolationMS <= 0 || r.RankMS <= 0 {
+			t.Fatalf("non-positive timing in %+v", r)
+		}
+	}
+}
+
+func TestRunAblationRebuildCShape(t *testing.T) {
+	rows := RunAblationRebuildC(tiny(), 2, 2, []int{1, 4})
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.ChurnMS <= 0 || r.FinalHgt <= 0 {
+			t.Fatalf("bad row %+v", r)
+		}
+	}
+	if rows[0].C != 1 || rows[1].C != 4 {
+		t.Fatal("C column wrong")
+	}
+}
+
+func TestRunBaselineTreapShape(t *testing.T) {
+	rows := RunBaselineTreap(tiny(), 2, 1)
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.ISTMS <= 0 || r.TreapMS <= 0 {
+			t.Fatalf("bad row %+v", r)
+		}
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteTable(&buf, []string{"a", "long-header"}, [][]string{
+		{"1", "2"},
+		{"333", "4"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "a ") || !strings.Contains(lines[0], "long-header") {
+		t.Fatalf("header wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatalf("rule wrong: %q", lines[1])
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []string{"x", "y"}, [][]string{{"1", "2"}}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "x,y\n1,2\n" {
+		t.Fatalf("csv = %q", buf.String())
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if MS(250.3) != "250" || MS(12.34) != "12.3" || MS(0.5678) != "0.568" {
+		t.Fatalf("MS formatting wrong: %s %s %s", MS(250.3), MS(12.34), MS(0.5678))
+	}
+	if X(2.5) != "2.50x" {
+		t.Fatalf("X formatting wrong: %s", X(2.5))
+	}
+}

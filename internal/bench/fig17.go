@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"repro/internal/core"
+	"repro/internal/parallel"
+)
+
+// Fig17Row is one point of the paper's Fig. 17: the time of each
+// batched operation at a given worker count, plus speedup relative to
+// one worker.
+type Fig17Row struct {
+	Workers    int
+	ContainsMS float64
+	InsertMS   float64
+	RemoveMS   float64
+	SpeedupC   float64
+	SpeedupI   float64
+	SpeedupR   float64
+}
+
+// RunFig17 reproduces the three scaling curves of Fig. 17: it builds
+// the §9 tree, then measures ContainsBatched, InsertBatched and
+// RemoveBatched on batches of M keys for every requested worker count,
+// averaging reps repetitions. The same pre-generated batches are used
+// at every worker count so the curves are directly comparable.
+//
+// Within one repetition the operations run in sequence on the same
+// tree (search on the pristine tree, then insert, then remove), and
+// every repetition starts from a freshly built tree, so mutation
+// history never leaks across measurements.
+func RunFig17(w Workload, cfg core.Config, workers []int, reps int) []Fig17Row {
+	w = w.WithDefaults()
+	base := w.BaseKeys()
+	if reps < 1 {
+		reps = 1
+	}
+	// Pre-generate one batch triple per repetition.
+	searchB := make([][]int64, reps)
+	insertB := make([][]int64, reps)
+	removeB := make([][]int64, reps)
+	for rep := 0; rep < reps; rep++ {
+		searchB[rep] = w.Batch(3 * rep)
+		insertB[rep] = w.Batch(3*rep + 1)
+		removeB[rep] = w.Batch(3*rep + 2)
+	}
+
+	rows := make([]Fig17Row, 0, len(workers))
+	for _, nw := range workers {
+		pool := parallel.NewPool(nw)
+		var cms, ims, rms float64
+		for rep := 0; rep < reps; rep++ {
+			tree := core.NewFromSorted(cfg, pool, base)
+			cms += timeMS(func() { tree.ContainsBatched(searchB[rep]) })
+			ims += timeMS(func() { tree.InsertBatched(insertB[rep]) })
+			rms += timeMS(func() { tree.RemoveBatched(removeB[rep]) })
+		}
+		rows = append(rows, Fig17Row{
+			Workers:    nw,
+			ContainsMS: cms / float64(reps),
+			InsertMS:   ims / float64(reps),
+			RemoveMS:   rms / float64(reps),
+		})
+	}
+	if len(rows) > 0 {
+		base := rows[0]
+		for i := range rows {
+			rows[i].SpeedupC = safeRatio(base.ContainsMS, rows[i].ContainsMS)
+			rows[i].SpeedupI = safeRatio(base.InsertMS, rows[i].InsertMS)
+			rows[i].SpeedupR = safeRatio(base.RemoveMS, rows[i].RemoveMS)
+		}
+	}
+	return rows
+}
+
+func safeRatio(num, den float64) float64 {
+	if den <= 0 {
+		return 0
+	}
+	return num / den
+}

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"repro/internal/core"
+	"repro/internal/parallel"
+)
+
+// LeafCapRow is one point of the H sweep (§3.4): leaf capacity against
+// batched search and update cost plus resulting tree shape.
+type LeafCapRow struct {
+	H          int
+	ContainsMS float64
+	UpdateMS   float64 // one insert batch + one remove batch
+	Height     int
+	Leaves     int
+}
+
+// RunSweepLeafCap sweeps the leaf capacity H.
+func RunSweepLeafCap(w Workload, workers, reps int, hs []int) []LeafCapRow {
+	w = w.WithDefaults()
+	base := w.BaseKeys()
+	pool := parallel.NewPool(workers)
+
+	rows := make([]LeafCapRow, 0, len(hs))
+	for _, h := range hs {
+		cfg := core.Config{LeafCap: h}
+		tree := core.NewFromSorted(cfg, pool, base)
+		s := tree.Stats()
+		row := LeafCapRow{H: h, Height: s.Height, Leaves: s.Leaves}
+		row.ContainsMS = meanMS(reps, func(rep int) func() {
+			batch := w.Batch(rep)
+			return func() { tree.ContainsBatched(batch) }
+		})
+		row.UpdateMS = meanMS(reps, func(rep int) func() {
+			fresh := core.NewFromSorted(cfg, pool, base)
+			ins := w.Batch(100 + rep)
+			rem := w.Batch(200 + rep)
+			return func() {
+				fresh.InsertBatched(ins)
+				fresh.RemoveBatched(rem)
+			}
+		})
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// IndexFactorRow is one point of the ε sweep (§3.2): interpolation
+// index size factor against search cost and index memory.
+type IndexFactorRow struct {
+	Factor     float64
+	ContainsMS float64
+	IndexBytes int
+}
+
+// RunSweepIndexFactor sweeps the per-node index size factor.
+func RunSweepIndexFactor(w Workload, workers, reps int, factors []float64) []IndexFactorRow {
+	w = w.WithDefaults()
+	base := w.BaseKeys()
+	pool := parallel.NewPool(workers)
+
+	rows := make([]IndexFactorRow, 0, len(factors))
+	for _, f := range factors {
+		tree := core.NewFromSorted(core.Config{IndexSizeFactor: f}, pool, base)
+		row := IndexFactorRow{Factor: f, IndexBytes: tree.Stats().IndexBytes}
+		row.ContainsMS = meanMS(reps, func(rep int) func() {
+			batch := w.Batch(rep)
+			return func() { tree.ContainsBatched(batch) }
+		})
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// BatchSizeRow is one point of the batch-size sweep: per-key cost of a
+// batched search as the batch grows, against the scalar red-black
+// baseline cost measured in RunSeqCompare. This sweep exposes the
+// amortization the paper's batched design banks on: upper tree levels
+// are traversed once per batch rather than once per key.
+type BatchSizeRow struct {
+	M          int
+	ContainsMS float64
+	NSPerKey   float64
+}
+
+// RunSweepBatchSize sweeps the batch size m at a fixed tree size.
+func RunSweepBatchSize(w Workload, workers, reps int, ms []int) []BatchSizeRow {
+	w = w.WithDefaults()
+	base := w.BaseKeys()
+	pool := parallel.NewPool(workers)
+	tree := core.NewFromSorted(core.Config{}, pool, base)
+
+	rows := make([]BatchSizeRow, 0, len(ms))
+	for _, m := range ms {
+		wl := w
+		wl.M = m
+		t := meanMS(reps, func(rep int) func() {
+			batch := wl.Batch(rep)
+			return func() { tree.ContainsBatched(batch) }
+		})
+		rows = append(rows, BatchSizeRow{
+			M:          m,
+			ContainsMS: t,
+			NSPerKey:   t * 1e6 / float64(m),
+		})
+	}
+	return rows
+}

@@ -1,0 +1,54 @@
+package bench
+
+import "testing"
+
+func TestRunSweepLeafCapShape(t *testing.T) {
+	rows := RunSweepLeafCap(tiny(), 2, 1, []int{8, 64})
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0].H != 8 || rows[1].H != 64 {
+		t.Fatal("H column wrong")
+	}
+	for _, r := range rows {
+		if r.ContainsMS <= 0 || r.UpdateMS <= 0 || r.Height <= 0 || r.Leaves <= 0 {
+			t.Fatalf("bad row %+v", r)
+		}
+	}
+	// Bigger leaves → fewer leaves.
+	if rows[1].Leaves >= rows[0].Leaves {
+		t.Fatalf("leaf count did not shrink with H: %d vs %d", rows[0].Leaves, rows[1].Leaves)
+	}
+}
+
+func TestRunSweepIndexFactorShape(t *testing.T) {
+	rows := RunSweepIndexFactor(tiny(), 2, 1, []float64{0.5, 2})
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.ContainsMS <= 0 || r.IndexBytes <= 0 {
+			t.Fatalf("bad row %+v", r)
+		}
+	}
+	// Bigger factor → more index memory.
+	if rows[1].IndexBytes <= rows[0].IndexBytes {
+		t.Fatalf("index bytes did not grow with factor: %d vs %d",
+			rows[0].IndexBytes, rows[1].IndexBytes)
+	}
+}
+
+func TestRunSweepBatchSizeShape(t *testing.T) {
+	rows := RunSweepBatchSize(tiny(), 2, 1, []int{100, 2000})
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.ContainsMS <= 0 || r.NSPerKey <= 0 {
+			t.Fatalf("bad row %+v", r)
+		}
+	}
+	if rows[0].M != 100 || rows[1].M != 2000 {
+		t.Fatal("M column wrong")
+	}
+}

@@ -1,0 +1,91 @@
+// Package bench is the experiment harness of the reproduction: it
+// regenerates every figure and table of the paper's evaluation (§9)
+// plus the ablations listed in DESIGN.md, printing the same series the
+// paper reports (operation time versus worker count, and the
+// sequential IST-versus-red-black-tree comparison).
+package bench
+
+import (
+	"time"
+
+	"repro/internal/dist"
+)
+
+// Workload describes one experimental setup, mirroring §9: the tree is
+// initialized with every integer in [Lo, Hi] taken with probability ½,
+// then batches of M keys are drawn from the same range.
+type Workload struct {
+	// N is the target (expected) tree size. The key range is derived
+	// from it: [−N, N], so that density p = ½ reproduces the paper's
+	// setup at any scale. The paper uses N = 10⁸.
+	N int
+	// M is the batch size. The paper uses M = 10⁷.
+	M int
+	// Seed makes the whole experiment reproducible.
+	Seed uint64
+	// Clusters > 0 draws batches from a non-smooth clustered
+	// distribution instead of uniform (ablation A3).
+	Clusters int
+}
+
+// WithDefaults fills in the container-scale defaults documented in
+// DESIGN.md (N = 4·10⁶, M = 10⁶ — same log log regime as the paper's
+// sizes, laptop-friendly runtime).
+func (w Workload) WithDefaults() Workload {
+	if w.N <= 0 {
+		w.N = 4_000_000
+	}
+	if w.M <= 0 {
+		w.M = 1_000_000
+	}
+	if w.Seed == 0 {
+		w.Seed = 0x5eed
+	}
+	return w
+}
+
+// Range returns the key range [lo, hi] of the workload.
+func (w Workload) Range() (lo, hi int64) {
+	return -int64(w.N), int64(w.N)
+}
+
+// BaseKeys generates the initial tree contents: each integer of the
+// range with probability ½ (§9).
+func (w Workload) BaseKeys() []int64 {
+	lo, hi := w.Range()
+	return dist.HalfDense(dist.NewRNG(w.Seed), lo, hi, 0.5)
+}
+
+// Batch generates the idx-th operation batch: M distinct keys from the
+// range, uniform by default, clustered when configured.
+func (w Workload) Batch(idx int) []int64 {
+	lo, hi := w.Range()
+	r := dist.NewRNG(w.Seed ^ (0xb47c4 + uint64(idx)*0x9e37))
+	if w.Clusters > 0 {
+		return dist.Clustered(r, w.M, w.Clusters, lo, hi)
+	}
+	return dist.UniformSet(r, w.M, lo, hi)
+}
+
+// timeMS runs f once and returns the elapsed wall time in
+// milliseconds.
+func timeMS(f func()) float64 {
+	start := time.Now()
+	f()
+	return float64(time.Since(start).Nanoseconds()) / 1e6
+}
+
+// meanMS averages reps timings of fresh invocations produced by mk:
+// mk(rep) must return the closure to measure for that repetition,
+// performing its setup outside the timed section.
+func meanMS(reps int, mk func(rep int) func()) float64 {
+	if reps < 1 {
+		reps = 1
+	}
+	total := 0.0
+	for rep := 0; rep < reps; rep++ {
+		f := mk(rep)
+		total += timeMS(f)
+	}
+	return total / float64(reps)
+}

@@ -1,0 +1,163 @@
+// Package core implements the paper's primary contribution: the
+// Parallel-Batched Interpolation Search Tree (PB-IST).
+//
+// The tree stores a sorted set of numeric keys and executes whole
+// batches of operations at once:
+//
+//   - ContainsBatched (§4) answers membership for a sorted batch,
+//   - InsertBatched (§5) adds a sorted batch (set union),
+//   - RemoveBatched (§6) deletes a sorted batch (set difference),
+//
+// each in expected O(m·log log n) work for a batch of m keys against a
+// tree of n keys drawn from a smooth distribution, and polylogarithmic
+// span (§8). Balance and space are maintained by amortized parallel
+// subtree rebuilding (§7).
+//
+// A batch must be sorted and duplicate-free; the public pbist package
+// wraps this contract with optional normalization. A Tree is not safe
+// for concurrent use: one batched operation runs at a time and
+// parallelism happens inside the operation, which is exactly the
+// parallel-batched model of §2.2.
+package core
+
+import (
+	"repro/internal/iindex"
+	"repro/internal/parallel"
+)
+
+// TraverseMode selects how inner nodes locate batch keys in their Rep
+// arrays during a batched traversal (§4.2 discusses both).
+type TraverseMode int
+
+const (
+	// TraverseInterpolation performs a per-key interpolation-index
+	// search inside a parallel loop (Listing 1.4). Expected O(1) per
+	// key on smooth input; this is the mode that achieves
+	// O(m·log log n) work and is the default.
+	TraverseInterpolation TraverseMode = iota
+	// TraverseRank uses the merge-based parallel Rank primitive
+	// (§4.1): O(|Rep| + segment) work per node regardless of input
+	// distribution. Kept for the ablation experiment A1.
+	TraverseRank
+)
+
+// Config carries the tuning constants of the tree; the zero value
+// selects defaults matching the paper's suggestions.
+type Config struct {
+	// LeafCap is H (§3.4): subtrees of at most this many keys are
+	// stored as leaf arrays. Default 16.
+	LeafCap int
+	// RebuildFactor is C (§7.1): a subtree is rebuilt when the number
+	// of modifications since its construction exceeds C times its size
+	// at construction. Default 2.
+	RebuildFactor int
+	// IndexSizeFactor scales per-node interpolation-index bucket
+	// counts relative to Rep length. Default 1.0.
+	IndexSizeFactor float64
+	// Traverse selects the batched traversal mode. Default
+	// TraverseInterpolation.
+	Traverse TraverseMode
+}
+
+func (c Config) withDefaults() Config {
+	if c.LeafCap <= 0 {
+		c.LeafCap = 16
+	}
+	if c.RebuildFactor <= 0 {
+		c.RebuildFactor = 2
+	}
+	if c.IndexSizeFactor <= 0 {
+		c.IndexSizeFactor = iindex.DefaultSizeFactor
+	}
+	return c
+}
+
+// Tree is a parallel-batched interpolation search tree.
+type Tree[K iindex.Numeric] struct {
+	root *node[K]
+	cfg  Config
+	pool *parallel.Pool
+}
+
+// node is one IST node (§3.1 plus the bookkeeping of §6–§7). Leaves
+// have nil children; inner nodes have len(rep)+1 children, any of which
+// may be nil (empty key range). Inner Rep arrays are immutable between
+// rebuilds, so their interpolation index stays valid; leaf Rep arrays
+// mutate on insertion and are searched with on-the-fly interpolation.
+type node[K iindex.Numeric] struct {
+	rep      []K
+	exists   []bool
+	children []*node[K]
+	idx      iindex.Index
+	size     int // live keys in this subtree
+	initSize int // live keys when this subtree was (re)built
+	modCnt   int // successful updates applied since (re)build
+}
+
+func (v *node[K]) isLeaf() bool { return v.children == nil }
+
+// New returns an empty tree. pool bounds the parallelism of batched
+// operations; a nil pool means sequential execution.
+func New[K iindex.Numeric](cfg Config, pool *parallel.Pool) *Tree[K] {
+	return &Tree[K]{cfg: cfg.withDefaults(), pool: pool}
+}
+
+// NewFromSorted bulk-loads a tree from sorted duplicate-free keys in
+// O(n) work and polylog span, producing an ideally balanced IST
+// (Definition 5). The input slice is not retained.
+func NewFromSorted[K iindex.Numeric](cfg Config, pool *parallel.Pool, keys []K) *Tree[K] {
+	t := New[K](cfg, pool)
+	t.root = t.buildIdeal(keys)
+	return t
+}
+
+// Pool returns the pool the tree runs its batched operations on.
+func (t *Tree[K]) Pool() *parallel.Pool { return t.pool }
+
+// SetPool changes the pool used by subsequent operations. It is the
+// mechanism behind the worker-count sweep of the Fig. 17 experiments.
+func (t *Tree[K]) SetPool(pool *parallel.Pool) { t.pool = pool }
+
+// Len reports the number of live keys in the set.
+func (t *Tree[K]) Len() int {
+	if t.root == nil {
+		return 0
+	}
+	return t.root.size
+}
+
+// Keys returns the live keys in ascending order using the parallel
+// flatten of §7.2.
+func (t *Tree[K]) Keys() []K {
+	return t.flatten(t.root)
+}
+
+// Contains reports whether key is in the set. It is a batch of size
+// one; hot scalar paths should use the sequential tree or batch their
+// queries.
+func (t *Tree[K]) Contains(key K) bool {
+	buf := [1]K{key}
+	var res [1]bool
+	t.containsRec(t.root, buf[:], 0, 1, res[:])
+	return res[0]
+}
+
+// Insert adds key to the set, reporting whether it was absent.
+func (t *Tree[K]) Insert(key K) bool {
+	return t.InsertBatched([]K{key}) == 1
+}
+
+// Remove deletes key from the set, reporting whether it was present.
+func (t *Tree[K]) Remove(key K) bool {
+	return t.RemoveBatched([]K{key}) == 1
+}
+
+// rebuildDue reports whether applying k more modifications to v would
+// exceed the rebuild budget C·InitSize (§7.1).
+func (t *Tree[K]) rebuildDue(v *node[K], k int) bool {
+	budget := t.cfg.RebuildFactor * v.initSize
+	if budget < t.cfg.RebuildFactor {
+		budget = t.cfg.RebuildFactor
+	}
+	return v.modCnt+k > budget
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"repro/internal/iseq"
+	"repro/internal/parallel"
+	"repro/internal/rbtree"
+	"repro/internal/skiplist"
+	"repro/internal/treap"
+)
+
+// Cross-implementation differential tests: five independently written
+// sorted sets (the parallel-batched IST, the sequential IST, the
+// red-black tree, the skip list, and the treap) execute the same
+// operation stream and must agree on every observable result. A bug in
+// any one implementation — or a systematic misreading of the paper's
+// semantics — surfaces as a divergence.
+
+func TestCrossImplementationAgreement(t *testing.T) {
+	pool := parallel.NewPool(4)
+	ist := New[int64](Config{LeafCap: 8, RebuildFactor: 2}, pool)
+	seq := iseq.New[int64](iseq.Config{LeafCap: 8, RebuildFactor: 2})
+	rb := rbtree.New[int64]()
+	sl := skiplist.New[int64](77)
+	tp := treap.New[int64](pool)
+
+	r := rand.New(rand.NewSource(2718))
+	const span = 3000
+	for round := 0; round < 120; round++ {
+		batch := randomBatch(r, 400, span)
+		switch round % 3 {
+		case 0:
+			got := ist.InsertBatched(batch)
+			want := 0
+			for _, k := range batch {
+				if seq.Insert(k) {
+					want++
+				}
+				rb.Insert(k)
+				sl.Insert(k)
+			}
+			tp.UnionWith(batch)
+			if got != want {
+				t.Fatalf("round %d: InsertBatched = %d, sequential IST says %d", round, got, want)
+			}
+		case 1:
+			got := ist.RemoveBatched(batch)
+			want := 0
+			for _, k := range batch {
+				if seq.Remove(k) {
+					want++
+				}
+				rb.Remove(k)
+				sl.Remove(k)
+			}
+			tp.DifferenceWith(batch)
+			if got != want {
+				t.Fatalf("round %d: RemoveBatched = %d, sequential IST says %d", round, got, want)
+			}
+		default:
+			res := ist.ContainsBatched(batch)
+			for i, k := range batch {
+				if res[i] != seq.Contains(k) {
+					t.Fatalf("round %d: IST batched and sequential disagree on %d", round, k)
+				}
+				if res[i] != rb.Contains(k) {
+					t.Fatalf("round %d: IST and red-black tree disagree on %d", round, k)
+				}
+				if res[i] != sl.Contains(k) {
+					t.Fatalf("round %d: IST and skip list disagree on %d", round, k)
+				}
+				if res[i] != tp.Contains(k) {
+					t.Fatalf("round %d: IST and treap disagree on %d", round, k)
+				}
+			}
+		}
+		if ist.Len() != seq.Len() || ist.Len() != rb.Len() ||
+			ist.Len() != sl.Len() || ist.Len() != tp.Len() {
+			t.Fatalf("round %d: sizes diverge: ist=%d iseq=%d rb=%d sl=%d treap=%d",
+				round, ist.Len(), seq.Len(), rb.Len(), sl.Len(), tp.Len())
+		}
+	}
+	keys := ist.Keys()
+	if !slices.Equal(keys, seq.Keys()) {
+		t.Fatal("final contents: batched IST != sequential IST")
+	}
+	if !slices.Equal(keys, rb.Keys()) {
+		t.Fatal("final contents: IST != red-black tree")
+	}
+	if !slices.Equal(keys, sl.Keys()) {
+		t.Fatal("final contents: IST != skip list")
+	}
+	if !slices.Equal(keys, tp.Keys()) {
+		t.Fatal("final contents: IST != treap")
+	}
+}
+
+func TestExtremeKeyValues(t *testing.T) {
+	// Interpolation arithmetic must survive the int64 extremes, where
+	// float64 conversion loses precision.
+	const maxi = int64(1)<<62 - 1
+	keys := []int64{-maxi, -maxi + 1, -1, 0, 1, maxi - 1, maxi}
+	tr := New[int64](Config{LeafCap: 2}, parallel.NewPool(2))
+	if n := tr.InsertBatched(keys); n != len(keys) {
+		t.Fatalf("inserted %d extreme keys, want %d", n, len(keys))
+	}
+	res := tr.ContainsBatched(keys)
+	for i, ok := range res {
+		if !ok {
+			t.Fatalf("extreme key %d lost", keys[i])
+		}
+	}
+	probe := []int64{-maxi - 1, 2, maxi - 2}
+	want := []bool{false, false, false}
+	if got := tr.ContainsBatched(probe); !slices.Equal(got, want) {
+		t.Fatalf("phantom extreme keys: %v", got)
+	}
+	if n := tr.RemoveBatched(keys); n != len(keys) {
+		t.Fatal("failed to remove extreme keys")
+	}
+	if tr.Len() != 0 {
+		t.Fatal("tree not empty after removing extremes")
+	}
+}
+
+func TestHugeSingleBatchIntoTinyTree(t *testing.T) {
+	// A batch far larger than the tree must trigger a top-level rebuild
+	// and produce an ideally balanced result.
+	tr := NewFromSorted(Config{}, parallel.NewPool(8), []int64{500_000})
+	batch := make([]int64, 300_000)
+	for i := range batch {
+		batch[i] = int64(i * 3)
+	}
+	if n := tr.InsertBatched(batch); n != len(batch) {
+		t.Fatalf("inserted %d, want %d", n, len(batch))
+	}
+	if tr.Len() != len(batch)+1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if h := tr.Height(); h > 6 {
+		t.Fatalf("height %d after giant batch; rebuild did not balance", h)
+	}
+	checkInvariants(t, tr)
+}
+
+func TestAlternatingReviveChurn(t *testing.T) {
+	// Pathological revive pattern: the same batch is removed and
+	// re-inserted repeatedly; size accounting and rebuild counters must
+	// stay exact.
+	keys := sortedUniqueKeys(55, 20000, 1<<30)
+	tr := NewFromSorted(Config{}, parallel.NewPool(4), keys)
+	batch := keys[5000:15000]
+	for cycle := 0; cycle < 12; cycle++ {
+		if n := tr.RemoveBatched(batch); n != len(batch) {
+			t.Fatalf("cycle %d: removed %d", cycle, n)
+		}
+		if tr.Len() != len(keys)-len(batch) {
+			t.Fatalf("cycle %d: Len = %d", cycle, tr.Len())
+		}
+		if n := tr.InsertBatched(batch); n != len(batch) {
+			t.Fatalf("cycle %d: revived %d", cycle, n)
+		}
+		if tr.Len() != len(keys) {
+			t.Fatalf("cycle %d: Len = %d", cycle, tr.Len())
+		}
+	}
+	if !slices.Equal(tr.Keys(), keys) {
+		t.Fatal("contents corrupted by revive churn")
+	}
+	checkInvariants(t, tr)
+}
+
+func TestOverlappingHalfBatches(t *testing.T) {
+	// Batches that 50%-overlap current contents stress the
+	// filter-then-apply pipeline of §5/§6.
+	pool := parallel.NewPool(4)
+	tr := New[int64](Config{}, pool)
+	ref := refSet{}
+	r := rand.New(rand.NewSource(56))
+	for round := 0; round < 30; round++ {
+		batch := randomBatch(r, 5000, 10000) // dense span: heavy overlap
+		if got, want := tr.InsertBatched(batch), ref.insertBatch(batch); got != want {
+			t.Fatalf("round %d insert: %d vs %d", round, got, want)
+		}
+		batch = randomBatch(r, 5000, 10000)
+		if got, want := tr.RemoveBatched(batch), ref.removeBatch(batch); got != want {
+			t.Fatalf("round %d remove: %d vs %d", round, got, want)
+		}
+	}
+	if !slices.Equal(tr.Keys(), ref.sorted()) {
+		t.Fatal("overlap churn diverged")
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"repro/internal/iindex"
+	"repro/internal/parallel"
+)
+
+// InsertBatched adds every key of the sorted duplicate-free batch to
+// the set and returns the number of keys actually inserted (keys
+// already present are skipped). It implements §5: the batch is first
+// filtered against the current contents with ContainsBatched + Filter,
+// then the surviving keys traverse to their target leaves, reviving
+// logically removed slots on the way (§6, Fig. 13) and merging into
+// leaf Rep arrays (Fig. 11). Subtrees whose modification budget is
+// exceeded are rebuilt ideally en route (§7.1).
+//
+// InsertBatched(B) is set union: A.InsertBatched(B) makes A = A ∪ B
+// (§2.2).
+func (t *Tree[K]) InsertBatched(keys []K) int {
+	if len(keys) == 0 {
+		return 0
+	}
+	present := t.ContainsBatched(keys)
+	fresh := parallel.FilterIndex(t.pool, keys, func(i int) bool { return !present[i] })
+	if len(fresh) == 0 {
+		return 0
+	}
+	t.root = t.insertRec(t.root, fresh, 0, len(fresh))
+	return len(fresh)
+}
+
+// insertRec inserts keys[l:r) — all logically absent from the set —
+// into subtree v and returns the possibly replaced subtree root.
+func (t *Tree[K]) insertRec(v *node[K], keys []K, l, r int) *node[K] {
+	if v == nil {
+		// Empty range: the sub-batch becomes a fresh ideal subtree.
+		return t.buildIdeal(keys[l:r])
+	}
+	if r-l <= seqSegCutoff || t.pool.Workers() == 1 {
+		return t.insertSeq(v, keys, l, r, &scratch{}, 0)
+	}
+	k := r - l
+	if t.rebuildDue(v, k) {
+		// §7.1 step 2a: flatten, merge the triggering sub-batch,
+		// rebuild ideally. The recursion stops here for this subtree.
+		flat := t.flatten(v)
+		merged := parallel.Merge(t.pool, flat, keys[l:r])
+		return t.buildIdeal(merged)
+	}
+	v.modCnt += k
+	v.size += k
+
+	seg := r - l
+	pf := make([]int32, seg)
+	t.findPositions(v, keys, l, r, pf)
+
+	// Revive keys that still exist physically but were logically
+	// removed (§6): they are guaranteed dead here because the batch
+	// was filtered against live contents.
+	exists := v.exists
+	parallel.For(t.pool, seg, 0, func(i int) {
+		if pf[i]&1 == 1 {
+			exists[pf[i]>>1] = true
+		}
+	})
+
+	if v.isLeaf() {
+		// Fig. 11: merge the physically absent keys into the leaf.
+		absent := parallel.FilterIndex(t.pool, keys[l:r], func(i int) bool { return pf[i]&1 == 0 })
+		if len(absent) > 0 {
+			v.rep, v.exists = mergeLeaf(v.rep, v.exists, absent)
+		}
+		return v
+	}
+	t.forEachChildRun(pf, func(lo, hi int, child int) {
+		v.children[child] = t.insertRec(v.children[child], keys, l+lo, l+hi)
+	})
+	return v
+}
+
+// mergeLeaf merges the sorted batch into a leaf's rep/exists pair.
+// Batch keys are new and therefore live. The merge is sequential: the
+// rebuild rule bounds live leaf growth by C·InitSize before a rebuild
+// replaces the leaf, so this is O(LeafCap·(C+1)) per leaf, and distinct
+// leaves merge in parallel with each other.
+func mergeLeaf[K iindex.Numeric](rep []K, exists []bool, batch []K) ([]K, []bool) {
+	nr := make([]K, 0, len(rep)+len(batch))
+	ne := make([]bool, 0, len(rep)+len(batch))
+	i, j := 0, 0
+	for i < len(rep) && j < len(batch) {
+		if rep[i] < batch[j] {
+			nr = append(nr, rep[i])
+			ne = append(ne, exists[i])
+			i++
+		} else {
+			nr = append(nr, batch[j])
+			ne = append(ne, true)
+			j++
+		}
+	}
+	for ; i < len(rep); i++ {
+		nr = append(nr, rep[i])
+		ne = append(ne, exists[i])
+	}
+	for ; j < len(batch); j++ {
+		nr = append(nr, batch[j])
+		ne = append(ne, true)
+	}
+	return nr, ne
+}

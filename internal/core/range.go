@@ -1,0 +1,313 @@
+package core
+
+import "repro/internal/iindex"
+
+// Ordered-set queries beyond membership: extrema, range extraction,
+// counting, and order statistics. These are standard sorted-set API
+// surface (std::set exposes the equivalents through iterators) and all
+// respect logical deletion — dead keys are invisible.
+
+// Min returns the smallest live key; ok is false when the set is
+// empty. Cost O(height · fanout) worst case; the size counters let the
+// walk skip all-dead subtrees.
+func (t *Tree[K]) Min() (key K, ok bool) {
+	v := t.root
+	for v != nil && v.size > 0 {
+		if v.isLeaf() {
+			for i, x := range v.rep {
+				if v.exists[i] {
+					return x, true
+				}
+			}
+			return key, false // unreachable while size > 0
+		}
+		descended := false
+		for i := range v.rep {
+			if c := v.children[i]; c != nil && c.size > 0 {
+				v, descended = c, true
+				break
+			}
+			if v.exists[i] {
+				return v.rep[i], true
+			}
+		}
+		if !descended {
+			v = v.children[len(v.rep)]
+		}
+	}
+	return key, false
+}
+
+// Max returns the largest live key; ok is false when the set is empty.
+func (t *Tree[K]) Max() (key K, ok bool) {
+	v := t.root
+	for v != nil && v.size > 0 {
+		if v.isLeaf() {
+			for i := len(v.rep) - 1; i >= 0; i-- {
+				if v.exists[i] {
+					return v.rep[i], true
+				}
+			}
+			return key, false // unreachable while size > 0
+		}
+		if c := v.children[len(v.rep)]; c != nil && c.size > 0 {
+			v = c
+			continue
+		}
+		descended := false
+		for i := len(v.rep) - 1; i >= 0; i-- {
+			if v.exists[i] {
+				return v.rep[i], true
+			}
+			if c := v.children[i]; c != nil && c.size > 0 {
+				v, descended = c, true
+				break
+			}
+		}
+		if !descended {
+			return key, false // unreachable while size > 0
+		}
+	}
+	return key, false
+}
+
+// Range returns the live keys in [lo, hi] in ascending order.
+func (t *Tree[K]) Range(lo, hi K) []K {
+	return t.AppendRange(nil, lo, hi)
+}
+
+// AppendRange appends the live keys in [lo, hi], ascending, to dst and
+// returns the extended slice. Only the two boundary root-to-leaf paths
+// inspect keys individually; fully covered subtrees are emitted
+// wholesale, so the cost is O(log log n + output) on a balanced tree.
+func (t *Tree[K]) AppendRange(dst []K, lo, hi K) []K {
+	if hi < lo {
+		return dst
+	}
+	return appendRange(t.root, dst, &lo, &hi)
+}
+
+// appendRange emits live keys of v between the bounds; a nil bound
+// means that side is unconstrained, which lets covered subtrees skip
+// per-key comparisons entirely.
+func appendRange[K iindex.Numeric](v *node[K], dst []K, lo, hi *K) []K {
+	if v == nil || v.size == 0 {
+		return dst
+	}
+	if lo == nil && hi == nil {
+		return appendLiveKeys(v, dst)
+	}
+	inRange := func(x K) bool {
+		return (lo == nil || *lo <= x) && (hi == nil || x <= *hi)
+	}
+	if v.isLeaf() {
+		for i, x := range v.rep {
+			if v.exists[i] && inRange(x) {
+				dst = append(dst, x)
+			}
+		}
+		return dst
+	}
+	k := len(v.rep)
+	start, end := 0, k
+	if lo != nil {
+		start = lowerBoundKeys(v.rep, *lo) // children before this cannot intersect
+	}
+	if hi != nil {
+		end = upperBoundKeys(v.rep, *hi) // children after this cannot intersect
+	}
+	for i := start; i <= end; i++ {
+		clo, chi := lo, hi
+		if i > start {
+			clo = nil // interior child: fully above lo
+		}
+		if i < end {
+			chi = nil // interior child: fully below hi
+		}
+		dst = appendRange(v.children[i], dst, clo, chi)
+		if i < end && v.exists[i] && inRange(v.rep[i]) {
+			dst = append(dst, v.rep[i])
+		}
+	}
+	return dst
+}
+
+// appendLiveKeys emits every live key of v in ascending order.
+func appendLiveKeys[K iindex.Numeric](v *node[K], dst []K) []K {
+	if v == nil {
+		return dst
+	}
+	if v.isLeaf() {
+		for i, x := range v.rep {
+			if v.exists[i] {
+				dst = append(dst, x)
+			}
+		}
+		return dst
+	}
+	for i := range v.rep {
+		dst = appendLiveKeys(v.children[i], dst)
+		if v.exists[i] {
+			dst = append(dst, v.rep[i])
+		}
+	}
+	return appendLiveKeys(v.children[len(v.rep)], dst)
+}
+
+// CountRange reports the number of live keys in [lo, hi] without
+// materializing them: covered subtrees contribute their cached sizes,
+// so only the two boundary paths recurse.
+func (t *Tree[K]) CountRange(lo, hi K) int {
+	if hi < lo {
+		return 0
+	}
+	return countRange(t.root, &lo, &hi)
+}
+
+func countRange[K iindex.Numeric](v *node[K], lo, hi *K) int {
+	if v == nil || v.size == 0 {
+		return 0
+	}
+	if lo == nil && hi == nil {
+		return v.size
+	}
+	inRange := func(x K) bool {
+		return (lo == nil || *lo <= x) && (hi == nil || x <= *hi)
+	}
+	n := 0
+	if v.isLeaf() {
+		for i, x := range v.rep {
+			if v.exists[i] && inRange(x) {
+				n++
+			}
+		}
+		return n
+	}
+	k := len(v.rep)
+	start, end := 0, k
+	if lo != nil {
+		start = lowerBoundKeys(v.rep, *lo)
+	}
+	if hi != nil {
+		end = upperBoundKeys(v.rep, *hi)
+	}
+	for i := start; i <= end; i++ {
+		clo, chi := lo, hi
+		if i > start {
+			clo = nil
+		}
+		if i < end {
+			chi = nil
+		}
+		n += countRange(v.children[i], clo, chi)
+		if i < end && v.exists[i] && inRange(v.rep[i]) {
+			n++
+		}
+	}
+	return n
+}
+
+// Select returns the idx-th smallest live key (0-based); ok is false
+// when idx is out of range. Cached subtree sizes make each level a
+// prefix scan over one node's sources.
+func (t *Tree[K]) Select(idx int) (key K, ok bool) {
+	v := t.root
+	if v == nil || idx < 0 || idx >= v.size {
+		return key, false
+	}
+	for {
+		if v.isLeaf() {
+			for i, x := range v.rep {
+				if !v.exists[i] {
+					continue
+				}
+				if idx == 0 {
+					return x, true
+				}
+				idx--
+			}
+			return key, false // unreachable: idx < live count
+		}
+		descended := false
+		for i := range v.rep {
+			if c := v.children[i]; c != nil {
+				if idx < c.size {
+					v, descended = c, true
+					break
+				}
+				idx -= c.size
+			}
+			if v.exists[i] {
+				if idx == 0 {
+					return v.rep[i], true
+				}
+				idx--
+			}
+		}
+		if !descended {
+			v = v.children[len(v.rep)]
+		}
+	}
+}
+
+// RankOf reports the number of live keys strictly less than key.
+func (t *Tree[K]) RankOf(key K) int {
+	v := t.root
+	rank := 0
+	for v != nil {
+		var pos int
+		var found bool
+		if v.isLeaf() {
+			pos, found = iindex.InterpolationSearch(v.rep, key)
+		} else {
+			pos, found = iindex.Find(v.rep, &v.idx, key)
+		}
+		for i := 0; i < pos; i++ {
+			if !v.isLeaf() {
+				if c := v.children[i]; c != nil {
+					rank += c.size
+				}
+			}
+			if v.exists[i] {
+				rank++
+			}
+		}
+		if v.isLeaf() {
+			return rank
+		}
+		if found {
+			if c := v.children[pos]; c != nil {
+				rank += c.size
+			}
+			return rank
+		}
+		v = v.children[pos]
+	}
+	return rank
+}
+
+func lowerBoundKeys[K iindex.Numeric](s []K, x K) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func upperBoundKeys[K iindex.Numeric](s []K, x K) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/iindex"
+	"repro/internal/parallel"
+)
+
+// buildSeqCutoff is the subtree size below which flattening and ideal
+// construction run sequentially: spawning tasks for tiny subtrees costs
+// more than the work they contain.
+const buildSeqCutoff = 4096
+
+// flatten collects the live keys of subtree v into a fresh sorted array
+// (§7.2): O(n) work, O(log³ n) span (Theorem 1).
+func (t *Tree[K]) flatten(v *node[K]) []K {
+	if v == nil {
+		return nil
+	}
+	out := make([]K, v.size)
+	t.fillFlat(v, out)
+	return out
+}
+
+// fillFlat writes the live keys of v into out, which has length
+// v.size. Following §7.2, an inner node with k rep slots has 2k+1 key
+// sources — child i is source 2i, rep slot i is source 2i+1 — whose
+// output offsets are the exclusive prefix sums of their live sizes
+// (Fig. 15). All sources then emit in parallel.
+func (t *Tree[K]) fillFlat(v *node[K], out []K) {
+	if v.isLeaf() {
+		w := 0
+		for i, x := range v.rep {
+			if v.exists[i] {
+				out[w] = x
+				w++
+			}
+		}
+		return
+	}
+	k := len(v.rep)
+	pool := t.pool
+	if v.size <= buildSeqCutoff {
+		pool = nil
+	}
+	offsets := make([]int, 2*k+1)
+	parallel.For(pool, k, 0, func(i int) {
+		if c := v.children[i]; c != nil {
+			offsets[2*i] = c.size
+		}
+		if v.exists[i] {
+			offsets[2*i+1] = 1
+		}
+	})
+	if c := v.children[k]; c != nil {
+		offsets[2*k] = c.size
+	}
+	parallel.ScanInPlace(pool, offsets)
+	parallel.For(pool, 2*k+1, 1, func(s int) {
+		if s%2 == 0 {
+			if c := v.children[s/2]; c != nil {
+				t.fillFlat(c, out[offsets[s]:offsets[s]+c.size])
+			}
+		} else if j := s / 2; v.exists[j] {
+			out[offsets[s]] = v.rep[j]
+		}
+	})
+}
+
+// buildIdeal constructs an ideally balanced IST (Definition 5) over
+// sorted duplicate-free keys: O(n) work and O(log n·log log n) span
+// (Theorem 1). Rep elements are spread evenly — k = ⌊√m⌋ slots at
+// positions (i+1)·m/(k+1) — and the k+1 children build in parallel.
+//
+// (§7.3 spaces rep elements exactly k apart, which covers the input
+// only when m is a perfect square; the even spread is the Definition 5
+// reading and is what keeps every child at Θ(√m) keys.)
+func (t *Tree[K]) buildIdeal(keys []K) *node[K] {
+	m := len(keys)
+	if m == 0 {
+		return nil
+	}
+	if m <= t.cfg.LeafCap {
+		return &node[K]{
+			rep:      append(make([]K, 0, m), keys...),
+			exists:   allTrue(m),
+			size:     m,
+			initSize: m,
+		}
+	}
+	k := int(math.Sqrt(float64(m)))
+	if k < 2 {
+		k = 2
+	}
+	v := &node[K]{
+		rep:      make([]K, k),
+		exists:   allTrue(k),
+		children: make([]*node[K], k+1),
+		size:     m,
+		initSize: m,
+	}
+	pool := t.pool
+	if m <= buildSeqCutoff {
+		pool = nil
+	}
+	parallel.For(pool, k+1, 1, func(i int) {
+		lo := 0
+		if i > 0 {
+			lo = i*m/(k+1) + 1
+		}
+		hi := m
+		if i < k {
+			hi = (i + 1) * m / (k + 1)
+			v.rep[i] = keys[hi]
+		}
+		v.children[i] = t.buildIdeal(keys[lo:hi])
+	})
+	v.idx = iindex.Build(v.rep, t.cfg.IndexSizeFactor)
+	return v
+}
+
+func allTrue(n int) []bool {
+	s := make([]bool, n)
+	for i := range s {
+		s[i] = true
+	}
+	return s
+}

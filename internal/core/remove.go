@@ -1,0 +1,66 @@
+package core
+
+import "repro/internal/parallel"
+
+// RemoveBatched deletes every key of the sorted duplicate-free batch
+// from the set and returns the number of keys actually removed (absent
+// keys are skipped). It implements §6: the batch is filtered to the
+// keys currently present, then the traversal marks each of them
+// logically removed in the Exists array of the node whose Rep holds it
+// (Fig. 12). Space is reclaimed by the next rebuild of an enclosing
+// subtree (§7).
+//
+// RemoveBatched(B) is set difference: A.RemoveBatched(B) makes
+// A = A \ B (§2.2).
+func (t *Tree[K]) RemoveBatched(keys []K) int {
+	if len(keys) == 0 {
+		return 0
+	}
+	present := t.ContainsBatched(keys)
+	doomed := parallel.FilterIndex(t.pool, keys, func(i int) bool { return present[i] })
+	if len(doomed) == 0 {
+		return 0
+	}
+	t.root = t.removeRec(t.root, doomed, 0, len(doomed))
+	return len(doomed)
+}
+
+// removeRec removes keys[l:r) — all logically present — from subtree v
+// and returns the possibly replaced subtree root.
+func (t *Tree[K]) removeRec(v *node[K], keys []K, l, r int) *node[K] {
+	if r-l <= seqSegCutoff || t.pool.Workers() == 1 {
+		return t.removeSeq(v, keys, l, r, &scratch{}, 0)
+	}
+	k := r - l
+	if t.rebuildDue(v, k) {
+		// §7.1 step 2b: flatten, subtract the triggering sub-batch,
+		// rebuild ideally.
+		flat := t.flatten(v)
+		kept := parallel.Difference(t.pool, flat, keys[l:r])
+		return t.buildIdeal(kept)
+	}
+	v.modCnt += k
+	v.size -= k
+
+	seg := r - l
+	pf := make([]int32, seg)
+	t.findPositions(v, keys, l, r, pf)
+
+	// Mark keys found in this rep as logically removed (§6). Every
+	// batch key is live in the set, so each is found exactly once
+	// along its root-to-leaf path.
+	exists := v.exists
+	parallel.For(t.pool, seg, 0, func(i int) {
+		if pf[i]&1 == 1 {
+			exists[pf[i]>>1] = false
+		}
+	})
+
+	if v.isLeaf() {
+		return v // all segment keys were necessarily found here
+	}
+	t.forEachChildRun(pf, func(lo, hi int, child int) {
+		v.children[child] = t.removeRec(v.children[child], keys, l+lo, l+hi)
+	})
+	return v
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"repro/internal/iindex"
+	"repro/internal/parallel"
+)
+
+// seqSegCutoff is the sub-batch size below which a batched traversal
+// stops forking and switches to the allocation-free sequential path.
+// Small segments gain nothing from parallelism — the fan-out above
+// them already saturates the pool — while per-node buffer allocations
+// on the hot path cost more than the work they support.
+const seqSegCutoff = 512
+
+// scratch holds one reusable position buffer per recursion depth for a
+// sequential subtree walk. A parent's buffer stays live while its
+// children run, so buffers cannot be shared across depths, but sibling
+// subtrees at the same depth reuse the same storage.
+type scratch struct {
+	levels [][]int32
+}
+
+func (s *scratch) buf(depth, n int) []int32 {
+	for len(s.levels) <= depth {
+		s.levels = append(s.levels, nil)
+	}
+	if cap(s.levels[depth]) < n {
+		s.levels[depth] = make([]int32, n)
+	}
+	return s.levels[depth][:n]
+}
+
+// findPositionsSeq is findPositions without parallel loops: it fills
+// pf[i] = pos<<1 | found for keys[l:r) against v.rep.
+func (t *Tree[K]) findPositionsSeq(v *node[K], keys []K, l, r int, pf []int32) {
+	rep := v.rep
+	if t.cfg.Traverse == TraverseRank {
+		for i := l; i < r; i++ {
+			ub := parallel.UpperBound(rep, keys[i])
+			if ub > 0 && rep[ub-1] == keys[i] {
+				pf[i-l] = int32(ub-1)<<1 | 1
+			} else {
+				pf[i-l] = int32(ub) << 1
+			}
+		}
+		return
+	}
+	if v.isLeaf() {
+		for i := l; i < r; i++ {
+			pos, found := iindex.InterpolationSearch(rep, keys[i])
+			pf[i-l] = pack(pos, found)
+		}
+		return
+	}
+	idx := &v.idx
+	for i := l; i < r; i++ {
+		pos, found := iindex.Find(rep, idx, keys[i])
+		pf[i-l] = pack(pos, found)
+	}
+}
+
+func pack(pos int, found bool) int32 {
+	if found {
+		return int32(pos)<<1 | 1
+	}
+	return int32(pos) << 1
+}
+
+// containsSeq resolves membership of keys[l:r) in v's subtree without
+// allocating: positions live in the scratch arena and runs are found
+// by a linear scan.
+func (t *Tree[K]) containsSeq(v *node[K], keys []K, l, r int, result []bool, sc *scratch, depth int) {
+	if v == nil {
+		return
+	}
+	seg := r - l
+	pf := sc.buf(depth, seg)
+	t.findPositionsSeq(v, keys, l, r, pf)
+	for i, p := range pf {
+		if p&1 == 1 {
+			result[l+i] = v.exists[p>>1]
+		}
+	}
+	if v.isLeaf() {
+		return
+	}
+	for i := 0; i < seg; {
+		j := i + 1
+		for j < seg && pf[j] == pf[i] {
+			j++
+		}
+		if pf[i]&1 == 0 {
+			t.containsSeq(v.children[pf[i]>>1], keys, l+i, l+j, result, sc, depth+1)
+		}
+		i = j
+	}
+}
+
+// insertSeq is insertRec on the sequential path.
+func (t *Tree[K]) insertSeq(v *node[K], keys []K, l, r int, sc *scratch, depth int) *node[K] {
+	if v == nil {
+		return t.buildIdeal(keys[l:r])
+	}
+	k := r - l
+	if t.rebuildDue(v, k) {
+		flat := t.flatten(v)
+		merged := parallel.Merge(t.pool, flat, keys[l:r])
+		return t.buildIdeal(merged)
+	}
+	v.modCnt += k
+	v.size += k
+	seg := r - l
+	pf := sc.buf(depth, seg)
+	t.findPositionsSeq(v, keys, l, r, pf)
+	found := 0
+	for _, p := range pf {
+		if p&1 == 1 {
+			v.exists[p>>1] = true // revive (§6)
+			found++
+		}
+	}
+	if v.isLeaf() {
+		if found < seg {
+			v.rep, v.exists = mergeLeafPF(v.rep, v.exists, keys[l:r], pf, seg-found)
+		}
+		return v
+	}
+	for i := 0; i < seg; {
+		j := i + 1
+		for j < seg && pf[j] == pf[i] {
+			j++
+		}
+		if pf[i]&1 == 0 {
+			c := pf[i] >> 1
+			v.children[c] = t.insertSeq(v.children[c], keys, l+i, l+j, sc, depth+1)
+		}
+		i = j
+	}
+	return v
+}
+
+// removeSeq is removeRec on the sequential path.
+func (t *Tree[K]) removeSeq(v *node[K], keys []K, l, r int, sc *scratch, depth int) *node[K] {
+	k := r - l
+	if t.rebuildDue(v, k) {
+		flat := t.flatten(v)
+		kept := parallel.Difference(t.pool, flat, keys[l:r])
+		return t.buildIdeal(kept)
+	}
+	v.modCnt += k
+	v.size -= k
+	seg := r - l
+	pf := sc.buf(depth, seg)
+	t.findPositionsSeq(v, keys, l, r, pf)
+	for _, p := range pf {
+		if p&1 == 1 {
+			v.exists[p>>1] = false
+		}
+	}
+	if v.isLeaf() {
+		return v
+	}
+	for i := 0; i < seg; {
+		j := i + 1
+		for j < seg && pf[j] == pf[i] {
+			j++
+		}
+		if pf[i]&1 == 0 {
+			c := pf[i] >> 1
+			v.children[c] = t.removeSeq(v.children[c], keys, l+i, l+j, sc, depth+1)
+		}
+		i = j
+	}
+	return v
+}
+
+// mergeLeafPF merges the physically absent batch keys (found bit
+// clear in pf) into a leaf's rep/exists pair in one exact-size pass.
+func mergeLeafPF[K iindex.Numeric](rep []K, exists []bool, batch []K, pf []int32, absent int) ([]K, []bool) {
+	n := len(rep) + absent
+	nr := make([]K, 0, n)
+	ne := make([]bool, 0, n)
+	i, j := 0, 0
+	for i < len(rep) && j < len(batch) {
+		if pf[j]&1 == 1 {
+			j++ // revived in place; already present in rep
+			continue
+		}
+		if rep[i] < batch[j] {
+			nr = append(nr, rep[i])
+			ne = append(ne, exists[i])
+			i++
+		} else {
+			nr = append(nr, batch[j])
+			ne = append(ne, true)
+			j++
+		}
+	}
+	for ; i < len(rep); i++ {
+		nr = append(nr, rep[i])
+		ne = append(ne, exists[i])
+	}
+	for ; j < len(batch); j++ {
+		if pf[j]&1 == 1 {
+			continue
+		}
+		nr = append(nr, batch[j])
+		ne = append(ne, true)
+	}
+	return nr, ne
+}

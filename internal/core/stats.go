@@ -1,0 +1,71 @@
+package core
+
+import "repro/internal/iindex"
+
+// Stats summarizes tree shape for inspection tools and balance tests.
+type Stats struct {
+	LiveKeys   int // keys logically in the set
+	DeadKeys   int // logically removed keys awaiting a rebuild
+	Nodes      int // total nodes, leaves included
+	Leaves     int // leaf nodes
+	Height     int // nodes on the longest root-to-leaf path; 0 when empty
+	RootRepLen int // length of the root's Rep array
+	MaxLeafLen int // longest leaf Rep
+	IndexBytes int // memory held by interpolation indexes
+}
+
+// Stats computes shape statistics in one O(n) traversal.
+func (t *Tree[K]) Stats() Stats {
+	var s Stats
+	if t.root != nil {
+		s.RootRepLen = len(t.root.rep)
+	}
+	statsRec(t.root, 1, &s)
+	return s
+}
+
+func statsRec[K iindex.Numeric](v *node[K], depth int, s *Stats) {
+	if v == nil {
+		return
+	}
+	s.Nodes++
+	if depth > s.Height {
+		s.Height = depth
+	}
+	s.IndexBytes += v.idx.Bytes()
+	for _, ok := range v.exists {
+		if ok {
+			s.LiveKeys++
+		} else {
+			s.DeadKeys++
+		}
+	}
+	if v.isLeaf() {
+		s.Leaves++
+		if len(v.rep) > s.MaxLeafLen {
+			s.MaxLeafLen = len(v.rep)
+		}
+		return
+	}
+	for _, c := range v.children {
+		statsRec(c, depth+1, s)
+	}
+}
+
+// Height reports the number of nodes on the longest root-to-leaf path.
+func (t *Tree[K]) Height() int {
+	return heightRec(t.root)
+}
+
+func heightRec[K iindex.Numeric](v *node[K]) int {
+	if v == nil {
+		return 0
+	}
+	h := 0
+	for _, c := range v.children {
+		if ch := heightRec(c); ch > h {
+			h = ch
+		}
+	}
+	return h + 1
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"repro/internal/iindex"
+	"repro/internal/parallel"
+)
+
+// ContainsBatched reports membership for every key of the sorted
+// duplicate-free batch: result[i] is true iff keys[i] is in the set
+// (§4, Listing 1.2). Expected O(m·log log n) work and polylog span.
+func (t *Tree[K]) ContainsBatched(keys []K) []bool {
+	result := make([]bool, len(keys))
+	if len(keys) == 0 {
+		return result
+	}
+	t.containsRec(t.root, keys, 0, len(keys), result)
+	return result
+}
+
+// containsRec is BatchedTraverse (§4.1, §4.2): it resolves membership
+// of keys[l:r) within the subtree of v, writing into result at global
+// batch positions.
+func (t *Tree[K]) containsRec(v *node[K], keys []K, l, r int, result []bool) {
+	if v == nil {
+		return // result entries stay false
+	}
+	seg := r - l
+	if seg <= seqSegCutoff || t.pool.Workers() == 1 {
+		t.containsSeq(v, keys, l, r, result, &scratch{}, 0)
+		return
+	}
+	pf := make([]int32, seg)
+	t.findPositions(v, keys, l, r, pf)
+	// Keys found in rep resolve here: present iff not logically
+	// removed (§6).
+	exists := v.exists
+	parallel.For(t.pool, seg, 0, func(i int) {
+		if pf[i]&1 == 1 {
+			result[l+i] = exists[pf[i]>>1]
+		}
+	})
+	if v.isLeaf() {
+		return // leaves are the last possible location (§4.1)
+	}
+	t.forEachChildRun(pf, func(lo, hi int, child int) {
+		t.containsRec(v.children[child], keys, l+lo, l+hi, result)
+	})
+}
+
+// findPositions locates each key of keys[l:r) in v.rep and packs the
+// result into pf: pf[i] = pos<<1 | found, where pos is the lower-bound
+// position of keys[l+i] (which doubles as the child index to descend
+// into when the key is absent from rep, §3.3).
+func (t *Tree[K]) findPositions(v *node[K], keys []K, l, r int, pf []int32) {
+	if t.cfg.Traverse == TraverseRank {
+		// §4.1: one merge-based Rank of the whole sub-batch against
+		// rep. ranks[i] = #elements of rep <= key.
+		ranks := parallel.Rank(t.pool, v.rep, keys[l:r])
+		rep := v.rep
+		parallel.For(t.pool, r-l, 0, func(i int) {
+			ub := ranks[i]
+			if ub > 0 && rep[ub-1] == keys[l+i] {
+				pf[i] = int32(ub-1)<<1 | 1
+			} else {
+				pf[i] = int32(ub) << 1
+			}
+		})
+		return
+	}
+	// §4.2, Listing 1.4: per-key interpolation search in a parallel
+	// loop. Inner nodes use the prebuilt index; leaf reps mutate, so
+	// they interpolate on the fly.
+	rep, idx := v.rep, &v.idx
+	leaf := v.isLeaf()
+	parallel.For(t.pool, r-l, 0, func(i int) {
+		var pos int
+		var found bool
+		if leaf {
+			pos, found = iindex.InterpolationSearch(rep, keys[l+i])
+		} else {
+			pos, found = iindex.Find(rep, idx, keys[l+i])
+		}
+		if found {
+			pf[i] = int32(pos)<<1 | 1
+		} else {
+			pf[i] = int32(pos) << 1
+		}
+	})
+}
+
+// forEachChildRun partitions the sub-batch into maximal runs of keys
+// that route to the same child and invokes fn for each such run in
+// parallel (the per-child recursion fan-out of §4.2). Runs whose keys
+// were found in rep are skipped — those keys resolved at this node.
+//
+// Because keys are sorted, pf is non-decreasing, every pf value forms
+// one contiguous run, and distinct absent runs map to distinct
+// children, so parallel invocations of fn touch disjoint children.
+func (t *Tree[K]) forEachChildRun(pf []int32, fn func(lo, hi int, child int)) {
+	starts := parallel.FilterIndices(t.pool, len(pf), func(i int) bool {
+		return i == 0 || pf[i] != pf[i-1]
+	})
+	parallel.For(t.pool, len(starts), 1, func(q int) {
+		lo := starts[q]
+		hi := len(pf)
+		if q+1 < len(starts) {
+			hi = starts[q+1]
+		}
+		if pf[lo]&1 == 1 {
+			return // run of a key found in rep
+		}
+		fn(lo, hi, int(pf[lo]>>1))
+	})
+}

@@ -1,0 +1,81 @@
+package iindex
+
+import "testing"
+
+// Micro-benchmarks comparing the three array-search strategies of
+// §3.2: indexed interpolation (Find), on-the-fly interpolation, and
+// plain binary search. On uniform data Find should sit well under the
+// log₂(n) probes of binary search.
+
+func benchRep(n int) ([]int64, Index) {
+	rep := sortedUniqueInt64(1, n, 1<<40)
+	return rep, Build(rep, 0)
+}
+
+func probes(n int) []int64 {
+	return sortedUniqueInt64(2, n, 1<<40)
+}
+
+func BenchmarkFindIndexed(b *testing.B) {
+	rep, ix := benchRep(1 << 16)
+	ps := probes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Find(rep, &ix, ps[i%len(ps)])
+	}
+}
+
+func BenchmarkInterpolationSearch(b *testing.B) {
+	rep, _ := benchRep(1 << 16)
+	ps := probes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		InterpolationSearch(rep, ps[i%len(ps)])
+	}
+}
+
+func BenchmarkBinarySearch(b *testing.B) {
+	rep, _ := benchRep(1 << 16)
+	ps := probes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lowerBound(rep, ps[i%len(ps)])
+	}
+}
+
+func BenchmarkFindExponential(b *testing.B) {
+	rep, ix := benchRep(1 << 16)
+	ps := probes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FindExponential(rep, &ix, ps[i%len(ps)])
+	}
+}
+
+func BenchmarkFindLearnedLinear(b *testing.B) {
+	rep, _ := benchRep(1 << 16)
+	m := BuildLinear(rep)
+	ps := probes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FindLinear(rep, &m, ps[i%len(ps)])
+	}
+}
+
+func BenchmarkBuildLinearModel(b *testing.B) {
+	rep, _ := benchRep(1 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildLinear(rep)
+	}
+	b.SetBytes(int64(len(rep) * 8))
+}
+
+func BenchmarkBuildIndex(b *testing.B) {
+	rep, _ := benchRep(1 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(rep, 0)
+	}
+	b.SetBytes(int64(len(rep) * 8))
+}

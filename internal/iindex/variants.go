@@ -1,0 +1,165 @@
+package iindex
+
+import "math"
+
+// This file implements the two index/refinement variants that §3.2 of
+// the paper points at beyond the linear walk:
+//
+//   - exponential (galloping) refinement, citing Bentley & Yao: the
+//     estimate error is bridged in O(log error) steps instead of a
+//     capped linear walk;
+//   - a learned model as the approximate index, citing Kraska et al.:
+//     a least-squares line over (key, position) pairs with a certified
+//     maximum error, searched within the ±error window.
+//
+// Both honor the same (lower-bound position, found) contract as Find
+// and are benchmarked against it in iindex_bench_test.go.
+
+// FindExponential locates x in rep like Find, but refines the index
+// estimate by galloping: the step doubles until the target is
+// bracketed, then binary search finishes inside the bracket. Worst
+// case O(log k); faster than the capped walk when estimates are off by
+// much more than maxWalk but by much less than k.
+func FindExponential[K Numeric](rep []K, ix *Index, x K) (pos int, found bool) {
+	n := len(rep)
+	if n == 0 {
+		return 0, false
+	}
+	h := ix.Approx(float64(x))
+	if h > n {
+		h = n
+	}
+	var lo, hi int
+	if h < n && rep[h] < x {
+		// Gallop right: invariant rep[lo-1] < x.
+		lo = h + 1
+		step := 1
+		hi = lo + step
+		for hi < n && rep[hi] < x {
+			lo = hi + 1
+			step <<= 1
+			hi = lo + step
+		}
+		if hi > n {
+			hi = n
+		}
+	} else {
+		// Gallop left: invariant rep[hi] >= x (or hi == n).
+		hi = h
+		step := 1
+		lo = hi - step
+		for lo > 0 && rep[lo-1] >= x {
+			hi = lo - 1
+			step <<= 1
+			lo = hi - step
+		}
+		if lo < 0 {
+			lo = 0
+		}
+	}
+	pos = lo + lowerBound(rep[lo:hi], x)
+	return pos, pos < n && rep[pos] == x
+}
+
+// LinearModel is a learned approximate index: position ≈
+// slope·key + intercept, with MaxErr the certified worst-case estimate
+// error over the fitted array. The zero value is a degenerate model
+// whose window covers the whole array.
+type LinearModel struct {
+	slope     float64
+	intercept float64
+	maxErr    int
+	fitted    int // length of the array the model was fitted on
+}
+
+// BuildLinear fits a least-squares line mapping keys to their
+// positions in the sorted slice rep and certifies its maximum error in
+// one extra pass: O(len(rep)) build, O(1) words of state.
+func BuildLinear[K Numeric](rep []K) LinearModel {
+	n := len(rep)
+	m := LinearModel{fitted: n, maxErr: n}
+	if n < 2 {
+		m.maxErr = n
+		return m
+	}
+	// Least squares over (xᵢ, i).
+	var sumX, sumY, sumXX, sumXY float64
+	for i, k := range rep {
+		x, y := float64(k), float64(i)
+		sumX += x
+		sumY += y
+		sumXX += x * x
+		sumXY += x * y
+	}
+	fn := float64(n)
+	det := fn*sumXX - sumX*sumX
+	if !(det > 0) || math.IsInf(sumXX, 0) || math.IsNaN(det) {
+		return m // degenerate: all keys equal or overflow
+	}
+	m.slope = (fn*sumXY - sumX*sumY) / det
+	m.intercept = (sumY - m.slope*sumX) / fn
+	if !(m.slope > 0) || math.IsNaN(m.slope) || math.IsInf(m.slope, 0) {
+		return m // non-increasing fit cannot certify a window
+	}
+	worst := 0
+	for i, k := range rep {
+		if d := absInt(m.predict(float64(k)) - i); d > worst {
+			worst = d
+		}
+	}
+	m.maxErr = worst
+	return m
+}
+
+func (m *LinearModel) predict(xf float64) int {
+	p := int(m.slope*xf + m.intercept)
+	if p < 0 {
+		return 0
+	}
+	if p >= m.fitted {
+		return m.fitted - 1
+	}
+	return p
+}
+
+// MaxErr reports the certified worst-case estimate error.
+func (m *LinearModel) MaxErr() int { return m.maxErr }
+
+// FindLinear locates x in rep with the learned model: binary search
+// confined to the certified window [predict−maxErr, predict+maxErr+1].
+// rep must be the slice the model was built on.
+func FindLinear[K Numeric](rep []K, m *LinearModel, x K) (pos int, found bool) {
+	n := len(rep)
+	if n == 0 {
+		return 0, false
+	}
+	if m.fitted != n {
+		panic("iindex: LinearModel used with a different array")
+	}
+	p := m.predict(float64(x))
+	lo := p - m.maxErr
+	if lo < 0 {
+		lo = 0
+	}
+	hi := p + m.maxErr + 1
+	if hi > n {
+		hi = n
+	}
+	// The window bounds derive from monotonicity of the model: the true
+	// lower-bound position is within maxErr+1 of the prediction.
+	if lo > 0 && rep[lo] >= x {
+		lo = 0 // defensive: degenerate models keep correctness
+	}
+	if hi < n && rep[hi-1] < x {
+		hi = n
+	}
+	pos = lo + lowerBound(rep[lo:hi], x)
+	return pos, pos < n && rep[pos] == x
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,171 @@
+package iindex
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+func TestFindExponentialMatchesFind(t *testing.T) {
+	rep := sortedUniqueInt64(31, 5000, 1<<40)
+	ix := Build(rep, 0)
+	r := rand.New(rand.NewSource(32))
+	for _, x := range rep {
+		ep, ef := FindExponential(rep, &ix, x)
+		wp, wf := refLowerBound(rep, x)
+		if ep != wp || ef != wf {
+			t.Fatalf("FindExponential(%d) = (%d,%v), want (%d,%v)", x, ep, ef, wp, wf)
+		}
+	}
+	for trial := 0; trial < 10000; trial++ {
+		x := r.Int63n(1 << 41)
+		ep, ef := FindExponential(rep, &ix, x)
+		wp, wf := refLowerBound(rep, x)
+		if ep != wp || ef != wf {
+			t.Fatalf("FindExponential(%d) = (%d,%v), want (%d,%v)", x, ep, ef, wp, wf)
+		}
+	}
+}
+
+func TestFindExponentialDegenerateIndex(t *testing.T) {
+	// A zero index gives estimate 0 everywhere; galloping must still
+	// reach any position.
+	var ix Index
+	rep := sortedUniqueInt64(33, 3000, 1<<30)
+	for _, x := range []int64{rep[0], rep[1500], rep[2999], -5, 1 << 31} {
+		ep, ef := FindExponential(rep, &ix, x)
+		wp, wf := refLowerBound(rep, x)
+		if ep != wp || ef != wf {
+			t.Fatalf("degenerate FindExponential(%d) mismatch", x)
+		}
+	}
+	if pos, found := FindExponential([]int64{}, &ix, 1); pos != 0 || found {
+		t.Fatal("empty rep must return (0,false)")
+	}
+}
+
+func TestFindExponentialClustered(t *testing.T) {
+	var rep []int64
+	for i := int64(0); i < 2000; i++ {
+		rep = append(rep, i, 1<<40+i)
+	}
+	slices.Sort(rep)
+	ix := Build(rep, 0)
+	r := rand.New(rand.NewSource(34))
+	for trial := 0; trial < 5000; trial++ {
+		x := r.Int63n(1 << 41)
+		ep, ef := FindExponential(rep, &ix, x)
+		wp, wf := refLowerBound(rep, x)
+		if ep != wp || ef != wf {
+			t.Fatalf("clustered FindExponential(%d) mismatch", x)
+		}
+	}
+}
+
+func TestLinearModelUniformErrorSmall(t *testing.T) {
+	rep := sortedUniqueInt64(35, 100000, 1<<40)
+	m := BuildLinear(rep)
+	// Uniform keys are nearly linear in position: the certified error
+	// should be a tiny fraction of n.
+	if m.MaxErr() > len(rep)/50 {
+		t.Fatalf("learned index error %d too large for uniform data (n=%d)", m.MaxErr(), len(rep))
+	}
+}
+
+func TestFindLinearExact(t *testing.T) {
+	rep := sortedUniqueInt64(36, 20000, 1<<38)
+	m := BuildLinear(rep)
+	r := rand.New(rand.NewSource(37))
+	for i, x := range rep {
+		pos, found := FindLinear(rep, &m, x)
+		if !found || pos != i {
+			t.Fatalf("FindLinear(%d) = (%d,%v), want (%d,true)", x, pos, found, i)
+		}
+	}
+	for trial := 0; trial < 10000; trial++ {
+		x := r.Int63n(1 << 39)
+		gp, gf := FindLinear(rep, &m, x)
+		wp, wf := refLowerBound(rep, x)
+		if gp != wp || gf != wf {
+			t.Fatalf("FindLinear(%d) = (%d,%v), want (%d,%v)", x, gp, gf, wp, wf)
+		}
+	}
+}
+
+func TestFindLinearClusteredStaysCorrect(t *testing.T) {
+	// Clustered data breaks the linear fit (huge maxErr) but never
+	// correctness.
+	var rep []int64
+	for i := int64(0); i < 3000; i++ {
+		rep = append(rep, i, 1<<40+i)
+	}
+	slices.Sort(rep)
+	m := BuildLinear(rep)
+	r := rand.New(rand.NewSource(38))
+	for trial := 0; trial < 3000; trial++ {
+		x := r.Int63n(1 << 41)
+		gp, gf := FindLinear(rep, &m, x)
+		wp, wf := refLowerBound(rep, x)
+		if gp != wp || gf != wf {
+			t.Fatalf("clustered FindLinear(%d) mismatch", x)
+		}
+	}
+}
+
+func TestLinearModelDegenerate(t *testing.T) {
+	if m := BuildLinear([]int64{}); m.MaxErr() != 0 {
+		t.Fatal("empty model should have zero error span")
+	}
+	if pos, found := FindLinear([]int64{}, &LinearModel{}, 9); pos != 0 || found {
+		t.Fatal("empty FindLinear must be (0,false)")
+	}
+	one := []int64{5}
+	m := BuildLinear(one)
+	if pos, found := FindLinear(one, &m, 5); pos != 0 || !found {
+		t.Fatal("single-element FindLinear broken")
+	}
+	same := []float64{2.5, 2.5, 2.5}
+	ms := BuildLinear(same)
+	if pos, _ := FindLinear(same, &ms, 2.5); pos != 0 {
+		t.Fatal("constant-key model must fall back to full binary search")
+	}
+}
+
+func TestFindLinearPanicsOnWrongArray(t *testing.T) {
+	rep := sortedUniqueInt64(39, 100, 1<<20)
+	m := BuildLinear(rep)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for model/array length mismatch")
+		}
+	}()
+	FindLinear(rep[:50], &m, rep[0])
+}
+
+func TestVariantsQuickProperty(t *testing.T) {
+	prop := func(raw []int32, probesRaw []int32) bool {
+		rep := make([]int64, 0, len(raw))
+		for _, v := range raw {
+			rep = append(rep, int64(v))
+		}
+		slices.Sort(rep)
+		rep = slices.Compact(rep)
+		ix := Build(rep, 0)
+		m := BuildLinear(rep)
+		for _, p := range probesRaw {
+			x := int64(p)
+			wp, wf := refLowerBound(rep, x)
+			if ep, ef := FindExponential(rep, &ix, x); ep != wp || ef != wf {
+				return false
+			}
+			if lp, lf := FindLinear(rep, &m, x); lp != wp || lf != wf {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

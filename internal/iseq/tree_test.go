@@ -1,0 +1,358 @@
+package iseq
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New[int64](Config{})
+	if tr.Len() != 0 {
+		t.Fatal("empty tree has nonzero Len")
+	}
+	if tr.Contains(5) {
+		t.Fatal("empty tree contains a key")
+	}
+	if tr.Remove(5) {
+		t.Fatal("Remove on empty tree returned true")
+	}
+	if got := tr.Keys(); len(got) != 0 {
+		t.Fatalf("empty tree Keys() = %v", got)
+	}
+	if tr.Height() != 0 {
+		t.Fatal("empty tree has nonzero height")
+	}
+}
+
+func TestInsertContainsRemoveSingle(t *testing.T) {
+	tr := New[int64](Config{})
+	if !tr.Insert(42) {
+		t.Fatal("first Insert returned false")
+	}
+	if tr.Insert(42) {
+		t.Fatal("duplicate Insert returned true")
+	}
+	if !tr.Contains(42) || tr.Contains(41) || tr.Contains(43) {
+		t.Fatal("Contains wrong after single insert")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+	if !tr.Remove(42) {
+		t.Fatal("Remove of present key returned false")
+	}
+	if tr.Remove(42) {
+		t.Fatal("second Remove returned true")
+	}
+	if tr.Contains(42) || tr.Len() != 0 {
+		t.Fatal("key still visible after removal")
+	}
+}
+
+func TestReviveAfterRemove(t *testing.T) {
+	// Remove marks a key dead; a subsequent insert must revive the
+	// physical slot (§6, Fig. 13) and report true.
+	tr := NewFromSorted(Config{}, []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if !tr.Remove(5) || tr.Contains(5) {
+		t.Fatal("removal failed")
+	}
+	if !tr.Insert(5) {
+		t.Fatal("revival insert returned false")
+	}
+	if !tr.Contains(5) || tr.Len() != 10 {
+		t.Fatal("revival did not restore the key")
+	}
+}
+
+func TestNewFromSorted(t *testing.T) {
+	keys := make([]int64, 10000)
+	for i := range keys {
+		keys[i] = int64(3 * i)
+	}
+	tr := NewFromSorted(Config{}, keys)
+	if tr.Len() != len(keys) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(keys))
+	}
+	for _, k := range keys {
+		if !tr.Contains(k) {
+			t.Fatalf("missing key %d", k)
+		}
+		if tr.Contains(k + 1) {
+			t.Fatalf("phantom key %d", k+1)
+		}
+	}
+	if got := tr.Keys(); !slices.Equal(got, keys) {
+		t.Fatal("Keys() does not round-trip the input")
+	}
+}
+
+// refSet mirrors tree contents for differential testing.
+type refSet map[int64]bool
+
+func (r refSet) insert(k int64) bool {
+	if r[k] {
+		return false
+	}
+	r[k] = true
+	return true
+}
+
+func (r refSet) remove(k int64) bool {
+	if !r[k] {
+		return false
+	}
+	delete(r, k)
+	return true
+}
+
+func (r refSet) sorted() []int64 {
+	out := make([]int64, 0, len(r))
+	for k := range r {
+		out = append(out, k)
+	}
+	slices.Sort(out)
+	return out
+}
+
+func TestDifferentialRandomOps(t *testing.T) {
+	configs := []Config{
+		{},                                  // defaults
+		{LeafCap: 4, RebuildFactor: 1},      // aggressive rebuilds
+		{LeafCap: 64, RebuildFactor: 8},     // lazy rebuilds
+		{LeafCap: 16, IndexSizeFactor: 0.5}, // coarse index
+		{LeafCap: 16, IndexSizeFactor: 3},   // fine index
+	}
+	for ci, cfg := range configs {
+		tr := New[int64](cfg)
+		ref := refSet{}
+		r := rand.New(rand.NewSource(int64(100 + ci)))
+		const span = 2000
+		for op := 0; op < 30000; op++ {
+			k := r.Int63n(span)
+			switch r.Intn(3) {
+			case 0:
+				if got, want := tr.Insert(k), ref.insert(k); got != want {
+					t.Fatalf("cfg %d op %d: Insert(%d) = %v, want %v", ci, op, k, got, want)
+				}
+			case 1:
+				if got, want := tr.Remove(k), ref.remove(k); got != want {
+					t.Fatalf("cfg %d op %d: Remove(%d) = %v, want %v", ci, op, k, got, want)
+				}
+			default:
+				if got, want := tr.Contains(k), ref[k]; got != want {
+					t.Fatalf("cfg %d op %d: Contains(%d) = %v, want %v", ci, op, k, got, want)
+				}
+			}
+			if tr.Len() != len(ref) {
+				t.Fatalf("cfg %d op %d: Len = %d, want %d", ci, op, tr.Len(), len(ref))
+			}
+		}
+		if !slices.Equal(tr.Keys(), ref.sorted()) {
+			t.Fatalf("cfg %d: final key sets differ", ci)
+		}
+		checkInvariants(t, tr)
+	}
+}
+
+func TestMonotoneInsertThenSweepRemove(t *testing.T) {
+	// Monotone insertion is the adversarial case of Fig. 7: everything
+	// lands in the rightmost leaf until rebuilds rebalance.
+	tr := New[int64](Config{})
+	const n = 20000
+	for i := int64(0); i < n; i++ {
+		if !tr.Insert(i) {
+			t.Fatalf("Insert(%d) failed", i)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	checkInvariants(t, tr)
+	// Height must stay polylogarithmic, not degenerate to a list of
+	// leaves: for n = 2·10⁴ a well-rebuilt IST stays very shallow.
+	if h := tr.Height(); h > 12 {
+		t.Fatalf("height after monotone inserts = %d; rebuilding is not keeping balance", h)
+	}
+	for i := int64(0); i < n; i++ {
+		if !tr.Remove(i) {
+			t.Fatalf("Remove(%d) failed", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after removing everything", tr.Len())
+	}
+}
+
+func TestDeadKeysAreReclaimedByRebuilds(t *testing.T) {
+	tr := New[int64](Config{})
+	const n = 10000
+	for i := int64(0); i < n; i++ {
+		tr.Insert(i)
+	}
+	for i := int64(0); i < n; i++ {
+		tr.Remove(i)
+	}
+	// Logical deletions leave dead keys, but the rebuild rule bounds
+	// them: total physical keys may not exceed the rebuild budget of
+	// the root that was last rebuilt. Insert/remove churn to force one
+	// more root rebuild, then measure.
+	s := tr.Stats()
+	if s.LiveKeys != 0 {
+		t.Fatalf("live keys = %d, want 0", s.LiveKeys)
+	}
+	if s.DeadKeys > 3*n {
+		t.Fatalf("dead keys = %d: rebuilds are not reclaiming space", s.DeadKeys)
+	}
+}
+
+func TestIdealBuildBalance(t *testing.T) {
+	// §3.4: the root of an ideally balanced IST over n keys has Θ(√n)
+	// rep entries and the height is O(log log n).
+	for _, n := range []int{100, 1000, 10000, 100000, 1000000} {
+		keys := make([]int64, n)
+		for i := range keys {
+			keys[i] = int64(i)
+		}
+		tr := NewFromSorted(Config{}, keys)
+		s := tr.Stats()
+		sqrtN := math.Sqrt(float64(n))
+		if s.RootRepLen < int(sqrtN/2) || s.RootRepLen > int(sqrtN*2)+2 {
+			t.Errorf("n=%d: root rep len = %d, want Θ(√n)=%.0f", n, s.RootRepLen, sqrtN)
+		}
+		// loglog(10⁶)≈4.3; allow generous constant factor.
+		maxH := 3*int(math.Log2(math.Log2(float64(n))+1)+1) + 2
+		if s.Height > maxH {
+			t.Errorf("n=%d: height = %d, want <= %d (O(log log n))", n, s.Height, maxH)
+		}
+		checkInvariants(t, tr)
+	}
+}
+
+func TestStatsCounts(t *testing.T) {
+	tr := NewFromSorted(Config{}, []int64{1, 2, 3, 4, 5})
+	s := tr.Stats()
+	if s.LiveKeys != 5 || s.DeadKeys != 0 || s.Nodes != 1 || s.Leaves != 1 {
+		t.Fatalf("unexpected stats for tiny tree: %+v", s)
+	}
+	tr.Remove(3)
+	s = tr.Stats()
+	if s.LiveKeys != 4 || s.DeadKeys != 1 {
+		t.Fatalf("stats after removal: %+v", s)
+	}
+}
+
+func TestQuickPropertyMatchesMap(t *testing.T) {
+	prop := func(ops []int16) bool {
+		tr := New[int64](Config{LeafCap: 8, RebuildFactor: 2})
+		ref := refSet{}
+		for _, raw := range ops {
+			k := int64(raw % 64)
+			if raw%3 == 0 {
+				if tr.Insert(k) != ref.insert(k) {
+					return false
+				}
+			} else if raw%3 == 1 {
+				if tr.Remove(k) != ref.remove(k) {
+					return false
+				}
+			} else if tr.Contains(k) != ref[k] {
+				return false
+			}
+		}
+		return slices.Equal(tr.Keys(), ref.sorted())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloatKeys(t *testing.T) {
+	tr := New[float64](Config{})
+	r := rand.New(rand.NewSource(21))
+	ref := map[float64]bool{}
+	for i := 0; i < 5000; i++ {
+		k := math.Round(r.NormFloat64()*1e4) / 16
+		ins := !ref[k]
+		ref[k] = true
+		if tr.Insert(k) != ins {
+			t.Fatalf("float Insert(%v) disagreement", k)
+		}
+	}
+	for k := range ref {
+		if !tr.Contains(k) {
+			t.Fatalf("missing float key %v", k)
+		}
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(ref))
+	}
+}
+
+// checkInvariants validates the structural invariants of the tree:
+// rep sortedness, child key ranges, exists/children lengths, and size
+// bookkeeping.
+func checkInvariants(t *testing.T, tr *Tree[int64]) {
+	t.Helper()
+	var walk func(v *node[int64], lo, hi *int64) int
+	walk = func(v *node[int64], lo, hi *int64) int {
+		if v == nil {
+			return 0
+		}
+		if len(v.rep) == 0 {
+			t.Fatalf("node with empty rep")
+		}
+		if len(v.exists) != len(v.rep) {
+			t.Fatalf("exists length %d != rep length %d", len(v.exists), len(v.rep))
+		}
+		if !slices.IsSorted(v.rep) {
+			t.Fatalf("rep not sorted: %v", v.rep)
+		}
+		for i := 1; i < len(v.rep); i++ {
+			if v.rep[i] == v.rep[i-1] {
+				t.Fatalf("duplicate key %d in rep", v.rep[i])
+			}
+		}
+		if lo != nil && v.rep[0] <= *lo {
+			t.Fatalf("rep[0]=%d violates lower bound %d", v.rep[0], *lo)
+		}
+		if hi != nil && v.rep[len(v.rep)-1] >= *hi {
+			t.Fatalf("rep max %d violates upper bound %d", v.rep[len(v.rep)-1], *hi)
+		}
+		live := 0
+		for _, ok := range v.exists {
+			if ok {
+				live++
+			}
+		}
+		if !v.isLeaf() {
+			if len(v.children) != len(v.rep)+1 {
+				t.Fatalf("children length %d != rep length %d + 1", len(v.children), len(v.rep))
+			}
+			for i, c := range v.children {
+				var clo, chi *int64
+				if i > 0 {
+					clo = &v.rep[i-1]
+				} else {
+					clo = lo
+				}
+				if i < len(v.rep) {
+					chi = &v.rep[i]
+				} else {
+					chi = hi
+				}
+				live += walk(c, clo, chi)
+			}
+		}
+		if v.size != live {
+			t.Fatalf("node size %d != live key count %d", v.size, live)
+		}
+		return live
+	}
+	total := walk(tr.root, nil, nil)
+	if total != tr.Len() {
+		t.Fatalf("tree Len %d != walked live count %d", tr.Len(), total)
+	}
+}

@@ -1,0 +1,76 @@
+package parallel
+
+// DefaultGrain is the sequential cutoff used by For and ForRange when
+// the caller passes grain <= 0. It balances scheduling overhead against
+// load balance for loop bodies in the tens-of-nanoseconds range, which
+// is typical for the scatter and search loops in this repository.
+const DefaultGrain = 2048
+
+// For executes body(i) for every i in [0, n), in parallel. It is the
+// pfor primitive of §2.4: O(n) work and O(log n) span for O(1) bodies.
+// Iterations must be independent; the order of execution is unspecified.
+// grain <= 0 selects DefaultGrain.
+func For(p *Pool, n, grain int, body func(i int)) {
+	ForRange(p, n, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForRange executes body over disjoint sub-ranges that together cover
+// [0, n). It is the blocked form of For: the body receives a half-open
+// range [lo, hi) and is expected to loop over it itself, which avoids a
+// closure call per element. grain <= 0 selects DefaultGrain.
+func ForRange(p *Pool, n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	forRange(p, 0, n, grain, body)
+}
+
+func forRange(p *Pool, lo, hi, grain int, body func(lo, hi int)) {
+	if p.sequential() {
+		body(lo, hi)
+		return
+	}
+	for hi-lo > grain {
+		if !p.acquire() {
+			// No worker free right now: peel just one chunk inline and
+			// retry, so that a token released by a finishing task can
+			// still pick up the remainder. Inlining the whole range
+			// here would serialize the tail and ruin load balance.
+			mid := lo + grain
+			body(lo, mid)
+			lo = mid
+			continue
+		}
+		mid := lo + (hi-lo)/2
+		lo2, hi2 := mid, hi
+		done := make(chan *panicValue, 1)
+		go func() {
+			var pv *panicValue
+			defer func() {
+				p.release()
+				done <- pv
+			}()
+			defer func() {
+				if r := recover(); r != nil {
+					pv = recoverValue(r)
+				}
+			}()
+			forRange(p, lo2, hi2, grain, body)
+		}()
+		forRange(p, lo, mid, grain, body)
+		if pv := <-done; pv != nil {
+			pv.repanic()
+		}
+		return
+	}
+	if hi > lo {
+		body(lo, hi)
+	}
+}

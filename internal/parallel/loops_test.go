@@ -1,0 +1,95 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for name, p := range testPools() {
+		t.Run(name, func(t *testing.T) {
+			for _, n := range []int{0, 1, 2, 100, 4096, 10001} {
+				hits := make([]int32, n)
+				For(p, n, 64, func(i int) { atomic.AddInt32(&hits[i], 1) })
+				for i, h := range hits {
+					if h != 1 {
+						t.Fatalf("n=%d: index %d executed %d times", n, i, h)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestForRangeCoversRangeExactly(t *testing.T) {
+	for name, p := range testPools() {
+		t.Run(name, func(t *testing.T) {
+			for _, n := range []int{0, 1, 63, 64, 65, 5000} {
+				hits := make([]int32, n)
+				ForRange(p, n, 16, func(lo, hi int) {
+					if lo < 0 || hi > n || lo > hi {
+						t.Errorf("bad range [%d,%d) for n=%d", lo, hi, n)
+					}
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&hits[i], 1)
+					}
+				})
+				for i, h := range hits {
+					if h != 1 {
+						t.Fatalf("n=%d: index %d covered %d times", n, i, h)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestForRangeSequentialRunsInline(t *testing.T) {
+	// A sequential pool must not pay splitting overhead: the body gets
+	// the whole range in one call.
+	calls := 0
+	ForRange(nil, 1000, 10, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 1000 {
+			t.Fatalf("sequential ForRange split the range: [%d,%d)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("sequential ForRange made %d body calls, want 1", calls)
+	}
+}
+
+func TestForDefaultGrain(t *testing.T) {
+	var n atomic.Int64
+	For(NewPool(4), 100000, 0, func(i int) { n.Add(int64(i)) })
+	want := int64(100000) * 99999 / 2
+	if n.Load() != want {
+		t.Fatalf("sum = %d, want %d", n.Load(), want)
+	}
+}
+
+func TestForPanicPropagation(t *testing.T) {
+	for name, p := range testPools() {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("panic in loop body was swallowed")
+				}
+			}()
+			For(p, 10000, 8, func(i int) {
+				if i == 7777 {
+					panic("loop boom")
+				}
+			})
+		})
+	}
+}
+
+func TestForZeroAndNegative(t *testing.T) {
+	ran := false
+	For(nil, 0, 1, func(int) { ran = true })
+	For(nil, -5, 1, func(int) { ran = true })
+	if ran {
+		t.Fatal("loop body ran for non-positive n")
+	}
+}

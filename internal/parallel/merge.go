@@ -1,0 +1,88 @@
+package parallel
+
+// mergeCutoff is the size below which a merge runs sequentially.
+const mergeCutoff = 4096
+
+// Merge merges two sorted slices into a freshly allocated sorted slice
+// (§2.4): O(|a|+|b|) work and O(log²(|a|+|b|)) span. The relative order
+// of equal elements drawn from the two inputs is unspecified; all
+// callers in this repository merge disjoint duplicate-free sets.
+func Merge[K Ordered](p *Pool, a, b []K) []K {
+	out := make([]K, len(a)+len(b))
+	MergeInto(p, a, b, out)
+	return out
+}
+
+// MergeInto merges sorted a and b into dst, which must have length
+// len(a)+len(b). It allows callers that manage their own buffers (the
+// leaf-merge step of batched insertion, the rebuild path) to avoid an
+// allocation per merge.
+func MergeInto[K Ordered](p *Pool, a, b []K, dst []K) {
+	if len(dst) != len(a)+len(b) {
+		panic("parallel: MergeInto destination length mismatch")
+	}
+	mergeInto(p, a, b, dst)
+}
+
+func mergeInto[K Ordered](p *Pool, a, b []K, dst []K) {
+	// The divide step bisects the larger input and splits the smaller
+	// one by binary search, yielding two independent sub-merges.
+	for {
+		// Always bisect the larger input so the split is balanced.
+		if len(a) < len(b) {
+			a, b = b, a
+		}
+		if len(dst) <= mergeCutoff || p.sequential() {
+			mergeSeq(a, b, dst)
+			return
+		}
+		am := len(a) / 2
+		bm := LowerBound(b, a[am])
+		var left, right func()
+		a0, a1 := a[:am], a[am:]
+		b0, b1 := b[:bm], b[bm:]
+		d0, d1 := dst[:am+bm], dst[am+bm:]
+		left = func() { mergeInto(p, a0, b0, d0) }
+		right = func() { mergeInto(p, a1, b1, d1) }
+		if !p.acquire() {
+			mergeSeq(a0, b0, d0)
+			a, b, dst = a1, b1, d1
+			continue
+		}
+		done := make(chan *panicValue, 1)
+		go func() {
+			var pv *panicValue
+			defer func() {
+				p.release()
+				done <- pv
+			}()
+			defer func() {
+				if r := recover(); r != nil {
+					pv = recoverValue(r)
+				}
+			}()
+			right()
+		}()
+		left()
+		if pv := <-done; pv != nil {
+			pv.repanic()
+		}
+		return
+	}
+}
+
+func mergeSeq[K Ordered](a, b, dst []K) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if b[j] < a[i] {
+			dst[k] = b[j]
+			j++
+		} else {
+			dst[k] = a[i]
+			i++
+		}
+		k++
+	}
+	k += copy(dst[k:], a[i:])
+	copy(dst[k:], b[j:])
+}

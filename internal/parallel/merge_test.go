@@ -1,0 +1,118 @@
+package parallel
+
+import (
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+func mergeRef(a, b []int) []int {
+	out := append(append([]int{}, a...), b...)
+	slices.Sort(out)
+	return out
+}
+
+func sortedUnique(seed int64, n, span int) []int {
+	arr := randInts(seed, n, span)
+	slices.Sort(arr)
+	return slices.Compact(arr)
+}
+
+func TestMergeMatchesReference(t *testing.T) {
+	for name, p := range testPools() {
+		t.Run(name, func(t *testing.T) {
+			sizes := [][2]int{{0, 0}, {0, 5}, {5, 0}, {1, 1}, {100, 3}, {3, 100}, {5000, 5000}, {100000, 7}, {60000, 60000}}
+			for _, s := range sizes {
+				a := sortedUnique(int64(s[0])+1, s[0], 1<<30)
+				b := sortedUnique(int64(s[1])+500, s[1], 1<<30)
+				got := Merge(p, a, b)
+				want := mergeRef(a, b)
+				if !slices.Equal(got, want) {
+					t.Fatalf("sizes %v: merge mismatch", s)
+				}
+			}
+		})
+	}
+}
+
+func TestMergeWithDuplicatesAcrossInputs(t *testing.T) {
+	a := []int{1, 3, 5, 7}
+	b := []int{3, 4, 5, 6}
+	got := Merge(NewPool(4), a, b)
+	want := []int{1, 3, 3, 4, 5, 5, 6, 7}
+	if !slices.Equal(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestMergeIntoRejectsBadDestination(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MergeInto accepted a short destination")
+		}
+	}()
+	MergeInto(nil, []int{1}, []int{2}, make([]int, 1))
+}
+
+func TestMergeIntoReusesBuffer(t *testing.T) {
+	a := sortedUnique(1, 1000, 1<<20)
+	b := sortedUnique(2, 1000, 1<<20)
+	dst := make([]int, len(a)+len(b))
+	MergeInto(NewPool(4), a, b, dst)
+	if !slices.Equal(dst, mergeRef(a, b)) {
+		t.Fatal("MergeInto result mismatch")
+	}
+}
+
+func TestMergeInputsUntouched(t *testing.T) {
+	a := sortedUnique(3, 300, 1000)
+	b := sortedUnique(4, 300, 1000)
+	ac, bc := slices.Clone(a), slices.Clone(b)
+	Merge(NewPool(8), a, b)
+	if !slices.Equal(a, ac) || !slices.Equal(b, bc) {
+		t.Fatal("Merge modified an input slice")
+	}
+}
+
+func TestMergeLargeUnbalancedParallel(t *testing.T) {
+	// Exercise the swap-to-bisect-larger path well above the cutoff.
+	a := sortedUnique(5, 200000, 1<<30)
+	b := sortedUnique(6, 1000, 1<<30)
+	p := NewPool(8)
+	if !slices.Equal(Merge(p, a, b), mergeRef(a, b)) {
+		t.Fatal("unbalanced merge mismatch")
+	}
+	if !slices.Equal(Merge(p, b, a), mergeRef(a, b)) {
+		t.Fatal("unbalanced merge (swapped) mismatch")
+	}
+}
+
+func TestMergeQuickProperty(t *testing.T) {
+	p := NewPool(8)
+	prop := func(x, y []int16) bool {
+		a := make([]int, len(x))
+		for i, v := range x {
+			a[i] = int(v)
+		}
+		b := make([]int, len(y))
+		for i, v := range y {
+			b[i] = int(v)
+		}
+		slices.Sort(a)
+		slices.Sort(b)
+		return slices.Equal(Merge(p, a, b), mergeRef(a, b))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeStrings(t *testing.T) {
+	a := []string{"ant", "bee", "cat"}
+	b := []string{"ape", "bat", "dog"}
+	got := Merge(NewPool(2), a, b)
+	want := []string{"ant", "ape", "bat", "bee", "cat", "dog"}
+	if !slices.Equal(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}

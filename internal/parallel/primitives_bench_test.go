@@ -1,0 +1,114 @@
+package parallel
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Micro-benchmarks for the §2.4 primitives: per-primitive scaling is
+// what the span bounds of the paper's Theorem 1/2 rest on.
+
+const benchN = 1 << 20
+
+func benchPools() []*Pool {
+	return []*Pool{nil, NewPool(4), NewPool(16)}
+}
+
+func poolName(p *Pool) string {
+	return fmt.Sprintf("workers_%d", p.Workers())
+}
+
+func BenchmarkScan(b *testing.B) {
+	arr := randInts(1, benchN, 1000)
+	for _, p := range benchPools() {
+		b.Run(poolName(p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Scan(p, arr)
+			}
+			b.SetBytes(int64(benchN * 8))
+		})
+	}
+}
+
+func BenchmarkFilter(b *testing.B) {
+	arr := randInts(2, benchN, 1000)
+	pred := func(v int) bool { return v%2 == 0 }
+	for _, p := range benchPools() {
+		b.Run(poolName(p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Filter(p, arr, pred)
+			}
+			b.SetBytes(int64(benchN * 8))
+		})
+	}
+}
+
+func BenchmarkMerge(b *testing.B) {
+	x := sortedUnique(3, benchN/2, 1<<40)
+	y := sortedUnique(4, benchN/2, 1<<40)
+	for _, p := range benchPools() {
+		b.Run(poolName(p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Merge(p, x, y)
+			}
+			b.SetBytes(int64(benchN * 8))
+		})
+	}
+}
+
+func BenchmarkDifference(b *testing.B) {
+	x := sortedUnique(5, benchN/2, 1<<30)
+	y := sortedUnique(6, benchN/2, 1<<30)
+	for _, p := range benchPools() {
+		b.Run(poolName(p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Difference(p, x, y)
+			}
+			b.SetBytes(int64(benchN * 8))
+		})
+	}
+}
+
+func BenchmarkRank(b *testing.B) {
+	x := sortedUnique(7, benchN/2, 1<<40)
+	y := sortedUnique(8, benchN/2, 1<<40)
+	for _, p := range benchPools() {
+		b.Run(poolName(p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Rank(p, x, y)
+			}
+			b.SetBytes(int64(benchN * 8))
+		})
+	}
+}
+
+func BenchmarkSort(b *testing.B) {
+	src := randInts(9, benchN, 1<<40)
+	for _, p := range benchPools() {
+		b.Run(poolName(p), func(b *testing.B) {
+			buf := make([]int, len(src))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				copy(buf, src)
+				b.StartTimer()
+				Sort(p, buf)
+			}
+			b.SetBytes(int64(benchN * 8))
+		})
+	}
+}
+
+func BenchmarkForOverhead(b *testing.B) {
+	// Cost of the parallel loop scaffolding on a trivial body.
+	var sink [256]int64
+	for _, p := range benchPools() {
+		b.Run(poolName(p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				For(p, benchN, 0, func(j int) {
+					sink[j%256]++
+				})
+			}
+		})
+	}
+}

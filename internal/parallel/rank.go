@@ -1,0 +1,81 @@
+package parallel
+
+// rankCutoff is the sub-batch size below which ranking proceeds
+// sequentially.
+const rankCutoff = 2048
+
+// Rank computes ElemRank(a, b[i]) for every i (§2.4): out[i] is the
+// number of elements of the sorted slice a that are less than or equal
+// to b[i]. b must be sorted too. The divide-and-conquer on b narrows the
+// candidate range of a at every level, giving O(|a|+|b|) work and
+// O(log²(|a|+|b|)) span.
+func Rank[K Ordered](p *Pool, a, b []K) []int {
+	out := make([]int, len(b))
+	RankInto(p, a, b, out)
+	return out
+}
+
+// RankInto is Rank writing into a caller-provided slice of length
+// len(b).
+func RankInto[K Ordered](p *Pool, a, b []K, out []int) {
+	if len(out) != len(b) {
+		panic("parallel: RankInto output length mismatch")
+	}
+	if len(b) == 0 {
+		return
+	}
+	rankRec(p, a, b, out, 0)
+}
+
+// rankRec ranks b within a; aBase is the index of a[0] within the
+// original array so ranks stay absolute.
+func rankRec[K Ordered](p *Pool, a, b []K, out []int, aBase int) {
+	for {
+		if len(b) <= rankCutoff || p.sequential() {
+			rankSeq(a, b, out, aBase)
+			return
+		}
+		mid := len(b) / 2
+		r := UpperBound(a, b[mid])
+		out[mid] = aBase + r
+		aL, bL, oL := a[:r], b[:mid], out[:mid]
+		aR, bR, oR := a[r:], b[mid+1:], out[mid+1:]
+		aRBase := aBase + r
+		if !p.acquire() {
+			rankSeq(aL, bL, oL, aBase)
+			a, b, out, aBase = aR, bR, oR, aRBase
+			continue
+		}
+		done := make(chan *panicValue, 1)
+		go func() {
+			var pv *panicValue
+			defer func() {
+				p.release()
+				done <- pv
+			}()
+			defer func() {
+				if r := recover(); r != nil {
+					pv = recoverValue(r)
+				}
+			}()
+			rankRec(p, aR, bR, oR, aRBase)
+		}()
+		rankRec(p, aL, bL, oL, aBase)
+		if pv := <-done; pv != nil {
+			pv.repanic()
+		}
+		return
+	}
+}
+
+// rankSeq ranks a sorted run of b against a with a single merge-style
+// sweep: O(|a|+|b|).
+func rankSeq[K Ordered](a, b []K, out []int, aBase int) {
+	j := 0
+	for i, x := range b {
+		for j < len(a) && a[j] <= x {
+			j++
+		}
+		out[i] = aBase + j
+	}
+}

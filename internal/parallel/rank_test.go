@@ -1,0 +1,107 @@
+package parallel
+
+import (
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+func rankRef(a, b []int) []int {
+	out := make([]int, len(b))
+	for i, x := range b {
+		out[i] = UpperBound(a, x)
+	}
+	return out
+}
+
+func TestElemRankPaperExamples(t *testing.T) {
+	// §2.4: ElemRank([1 3 5 7], 2)=1, ElemRank([1 3 5 7], 5)=3,
+	// ElemRank([1 3 5 7], -1)=0.
+	a := []int{1, 3, 5, 7}
+	cases := []struct{ x, want int }{{2, 1}, {5, 3}, {-1, 0}, {7, 4}, {100, 4}}
+	for _, c := range cases {
+		if got := UpperBound(a, c.x); got != c.want {
+			t.Errorf("ElemRank(%v, %d) = %d, want %d", a, c.x, got, c.want)
+		}
+	}
+}
+
+func TestLowerBound(t *testing.T) {
+	a := []int{1, 3, 3, 5}
+	cases := []struct{ x, want int }{{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 3}, {5, 3}, {6, 4}}
+	for _, c := range cases {
+		if got := LowerBound(a, c.x); got != c.want {
+			t.Errorf("LowerBound(%v, %d) = %d, want %d", a, c.x, got, c.want)
+		}
+	}
+}
+
+func TestRankMatchesReference(t *testing.T) {
+	for name, p := range testPools() {
+		t.Run(name, func(t *testing.T) {
+			cases := [][2]int{{0, 0}, {0, 100}, {100, 0}, {1000, 1000}, {100000, 3000}, {3000, 100000}}
+			for _, c := range cases {
+				a := sortedUnique(int64(c[0])+3, c[0], 1<<20)
+				b := sortedUnique(int64(c[1])+8, c[1], 1<<20)
+				got := Rank(p, a, b)
+				want := rankRef(a, b)
+				if !slices.Equal(got, want) {
+					t.Fatalf("sizes %v: Rank mismatch", c)
+				}
+			}
+		})
+	}
+}
+
+func TestRankIsInsertionPosition(t *testing.T) {
+	// §2.4 notes ElemRank(A, x) is the insertion position of x in A.
+	a := []int{10, 20, 30}
+	for _, x := range []int{5, 10, 15, 20, 25, 30, 35} {
+		r := UpperBound(a, x)
+		grown := slices.Insert(slices.Clone(a), r, x)
+		if !slices.IsSorted(grown) {
+			t.Errorf("inserting %d at rank %d breaks sortedness: %v", x, r, grown)
+		}
+	}
+}
+
+func TestRankIntoRejectsBadOutput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RankInto accepted a short output slice")
+		}
+	}()
+	RankInto(nil, []int{1}, []int{2, 3}, make([]int, 1))
+}
+
+func TestRankSharedElements(t *testing.T) {
+	a := []int{2, 4, 6, 8}
+	b := []int{2, 4, 6, 8}
+	got := Rank(NewPool(4), a, b)
+	want := []int{1, 2, 3, 4}
+	if !slices.Equal(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestRankQuickProperty(t *testing.T) {
+	p := NewPool(8)
+	prop := func(x, y []uint16) bool {
+		a := make([]int, len(x))
+		for i, v := range x {
+			a[i] = int(v)
+		}
+		b := make([]int, len(y))
+		for i, v := range y {
+			b[i] = int(v)
+		}
+		slices.Sort(a)
+		a = slices.Compact(a)
+		slices.Sort(b)
+		b = slices.Compact(b)
+		return slices.Equal(Rank(p, a, b), rankRef(a, b))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

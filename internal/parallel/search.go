@@ -1,0 +1,38 @@
+package parallel
+
+import "cmp"
+
+// Ordered is the key constraint shared by the sorted-array primitives.
+// It is exactly cmp.Ordered.
+type Ordered = cmp.Ordered
+
+// LowerBound returns the number of elements of the sorted slice a that
+// are strictly less than x, i.e. the first index at which x could be
+// inserted while keeping a sorted with x placed before equal elements.
+func LowerBound[K Ordered](a []K, x K) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// UpperBound returns the number of elements of the sorted slice a that
+// are less than or equal to x. This is ElemRank(a, x) of §2.4.
+func UpperBound[K Ordered](a []K, x K) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,76 @@
+package parallel
+
+// Difference returns the elements of sorted slice a that do not occur in
+// sorted slice b, in order (§2.4): Difference([2 4 5 7 9], [2 5 9]) =
+// [4 7]. Inputs must be duplicate-free. O(|a|+|b|) work and
+// O(log²(|a|+|b|)) span: a is cut into blocks, each block subtracts the
+// matching range of b independently, and survivors are compacted with a
+// scan.
+func Difference[K Ordered](p *Pool, a, b []K) []K {
+	return setOp(p, a, b, false)
+}
+
+// Intersect returns the elements of sorted slice a that also occur in
+// sorted slice b, in order. Inputs must be duplicate-free.
+func Intersect[K Ordered](p *Pool, a, b []K) []K {
+	return setOp(p, a, b, true)
+}
+
+// setOp implements Difference (keepPresent=false) and Intersect
+// (keepPresent=true) with one blocked two-pass algorithm.
+func setOp[K Ordered](p *Pool, a, b []K, keepPresent bool) []K {
+	n := len(a)
+	if n == 0 {
+		return nil
+	}
+	if len(b) == 0 {
+		if keepPresent {
+			return nil
+		}
+		out := make([]K, n)
+		copy(out, a)
+		return out
+	}
+	blocks := scanBlocks(p, n)
+	bs := (n + blocks - 1) / blocks
+
+	// Pass 1: per-block survivor counts. Each block walks the range of b
+	// that can overlap its keys, located by one binary search.
+	counts := make([]int, blocks)
+	For(p, blocks, 1, func(blk int) {
+		lo, hi := blk*bs, min((blk+1)*bs, n)
+		counts[blk] = setOpBlock(a[lo:hi], b, keepPresent, nil)
+	})
+	total := ScanInPlace(nil, counts)
+	out := make([]K, total)
+	// Pass 2: scatter survivors at the scanned offsets.
+	For(p, blocks, 1, func(blk int) {
+		lo, hi := blk*bs, min((blk+1)*bs, n)
+		setOpBlock(a[lo:hi], b, keepPresent, out[counts[blk]:])
+	})
+	return out
+}
+
+// setOpBlock walks one block of a against the aligned range of b. With
+// dst == nil it only counts survivors; otherwise it writes them to dst
+// and assumes dst is large enough.
+func setOpBlock[K Ordered](a, b []K, keepPresent bool, dst []K) int {
+	if len(a) == 0 {
+		return 0
+	}
+	j := LowerBound(b, a[0])
+	w := 0
+	for _, x := range a {
+		for j < len(b) && b[j] < x {
+			j++
+		}
+		present := j < len(b) && b[j] == x
+		if present == keepPresent {
+			if dst != nil {
+				dst[w] = x
+			}
+			w++
+		}
+	}
+	return w
+}

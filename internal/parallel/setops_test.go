@@ -1,0 +1,138 @@
+package parallel
+
+import (
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+func differenceRef(a, b []int) []int {
+	out := []int{}
+	for _, x := range a {
+		if _, ok := slices.BinarySearch(b, x); !ok {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func intersectRef(a, b []int) []int {
+	out := []int{}
+	for _, x := range a {
+		if _, ok := slices.BinarySearch(b, x); ok {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func TestDifferencePaperExample(t *testing.T) {
+	// §2.4: Difference([2 4 5 7 9], [2 5 9]) = [4 7].
+	got := Difference(NewPool(4), []int{2, 4, 5, 7, 9}, []int{2, 5, 9})
+	if !slices.Equal(got, []int{4, 7}) {
+		t.Fatalf("got %v, want [4 7]", got)
+	}
+}
+
+func TestDifferenceMatchesReference(t *testing.T) {
+	for name, p := range testPools() {
+		t.Run(name, func(t *testing.T) {
+			cases := [][2]int{{0, 0}, {0, 10}, {10, 0}, {1000, 1000}, {50000, 500}, {500, 50000}, {80000, 80000}}
+			for _, c := range cases {
+				a := sortedUnique(int64(c[0])+11, c[0], 1<<16)
+				b := sortedUnique(int64(c[1])+77, c[1], 1<<16)
+				if got, want := Difference(p, a, b), differenceRef(a, b); !slices.Equal(got, want) {
+					t.Fatalf("sizes %v: Difference mismatch (got %d want %d elems)", c, len(got), len(want))
+				}
+			}
+		})
+	}
+}
+
+func TestIntersectMatchesReference(t *testing.T) {
+	for name, p := range testPools() {
+		t.Run(name, func(t *testing.T) {
+			cases := [][2]int{{0, 0}, {0, 10}, {10, 0}, {1000, 1000}, {50000, 500}, {80000, 80000}}
+			for _, c := range cases {
+				a := sortedUnique(int64(c[0])+123, c[0], 1<<16)
+				b := sortedUnique(int64(c[1])+456, c[1], 1<<16)
+				if got, want := Intersect(p, a, b), intersectRef(a, b); !slices.Equal(got, want) {
+					t.Fatalf("sizes %v: Intersect mismatch", c)
+				}
+			}
+		})
+	}
+}
+
+func TestSetOpsDisjointAndIdentical(t *testing.T) {
+	p := NewPool(4)
+	a := []int{1, 3, 5}
+	b := []int{2, 4, 6}
+	if got := Difference(p, a, b); !slices.Equal(got, a) {
+		t.Fatalf("disjoint difference = %v, want %v", got, a)
+	}
+	if got := Intersect(p, a, b); len(got) != 0 {
+		t.Fatalf("disjoint intersect = %v, want empty", got)
+	}
+	if got := Difference(p, a, a); len(got) != 0 {
+		t.Fatalf("self difference = %v, want empty", got)
+	}
+	if got := Intersect(p, a, a); !slices.Equal(got, a) {
+		t.Fatalf("self intersect = %v, want %v", got, a)
+	}
+}
+
+func TestSetOpsEmptySecondOperand(t *testing.T) {
+	p := NewPool(4)
+	a := []int{5, 6, 7}
+	if got := Difference(p, a, nil); !slices.Equal(got, a) {
+		t.Fatalf("A \\ ∅ = %v, want %v", got, a)
+	}
+	if got := Intersect(p, a, nil); len(got) != 0 {
+		t.Fatalf("A ∩ ∅ = %v, want empty", got)
+	}
+}
+
+func TestDifferenceReturnsCopy(t *testing.T) {
+	a := []int{1, 2, 3}
+	got := Difference(NewPool(2), a, nil)
+	got[0] = 99
+	if a[0] != 1 {
+		t.Fatal("Difference aliased its input")
+	}
+}
+
+func TestSetOpsQuickProperty(t *testing.T) {
+	p := NewPool(8)
+	prop := func(x, y []uint8) bool {
+		a := make([]int, len(x))
+		for i, v := range x {
+			a[i] = int(v)
+		}
+		b := make([]int, len(y))
+		for i, v := range y {
+			b[i] = int(v)
+		}
+		slices.Sort(a)
+		a = slices.Compact(a)
+		slices.Sort(b)
+		b = slices.Compact(b)
+		return slices.Equal(Difference(p, a, b), differenceRef(a, b)) &&
+			slices.Equal(Intersect(p, a, b), intersectRef(a, b))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDifferenceIntersectPartitionInput(t *testing.T) {
+	// For any a, Difference(a,b) and Intersect(a,b) partition a.
+	p := NewPool(4)
+	a := sortedUnique(9, 30000, 1<<15)
+	b := sortedUnique(10, 30000, 1<<15)
+	d := Difference(p, a, b)
+	i := Intersect(p, a, b)
+	if !slices.Equal(Merge(p, d, i), a) {
+		t.Fatal("difference ∪ intersection != original set")
+	}
+}

@@ -1,0 +1,50 @@
+package parallel
+
+import "slices"
+
+// sortCutoff is the size below which Sort falls back to the standard
+// library's pattern-defeating quicksort.
+const sortCutoff = 4096
+
+// Sort sorts a in place using a parallel merge sort: O(n log n) work and
+// O(log³ n) span. It is used to pre-sort key batches, since every
+// batched operation of the paper assumes its input batch is sorted.
+func Sort[K Ordered](p *Pool, a []K) {
+	if len(a) <= sortCutoff || p.sequential() {
+		slices.Sort(a)
+		return
+	}
+	buf := make([]K, len(a))
+	sortInto(p, a, buf, false)
+}
+
+// SortedDedup sorts a and removes duplicates, returning the compacted
+// slice. It is the standard batch normalization step for callers that
+// cannot guarantee sorted duplicate-free input.
+func SortedDedup[K Ordered](p *Pool, a []K) []K {
+	Sort(p, a)
+	return Dedup(p, a)
+}
+
+// sortInto sorts src; if toBuf is false the sorted data ends in src,
+// otherwise in buf. The two buffers ping-pong across recursion levels so
+// each merge copies once.
+func sortInto[K Ordered](p *Pool, src, buf []K, toBuf bool) {
+	if len(src) <= sortCutoff || p.sequential() {
+		slices.Sort(src)
+		if toBuf {
+			copy(buf, src)
+		}
+		return
+	}
+	mid := len(src) / 2
+	p.Do(
+		func() { sortInto(p, src[:mid], buf[:mid], !toBuf) },
+		func() { sortInto(p, src[mid:], buf[mid:], !toBuf) },
+	)
+	if toBuf {
+		mergeInto(p, src[:mid], src[mid:], buf)
+	} else {
+		mergeInto(p, buf[:mid], buf[mid:], src)
+	}
+}

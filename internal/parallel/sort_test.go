@@ -1,0 +1,103 @@
+package parallel
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+func TestSortMatchesStdlib(t *testing.T) {
+	for name, p := range testPools() {
+		t.Run(name, func(t *testing.T) {
+			for _, n := range []int{0, 1, 2, 100, sortCutoff, sortCutoff + 1, 100000} {
+				arr := randInts(int64(n)*3+1, n, 1<<30)
+				want := slices.Clone(arr)
+				slices.Sort(want)
+				Sort(p, arr)
+				if !slices.Equal(arr, want) {
+					t.Fatalf("n=%d: Sort mismatch", n)
+				}
+			}
+		})
+	}
+}
+
+func TestSortAlreadySortedAndReversed(t *testing.T) {
+	p := NewPool(8)
+	n := 50000
+	asc := make([]int, n)
+	desc := make([]int, n)
+	for i := 0; i < n; i++ {
+		asc[i] = i
+		desc[i] = n - i
+	}
+	Sort(p, asc)
+	if !slices.IsSorted(asc) {
+		t.Fatal("ascending input broken")
+	}
+	Sort(p, desc)
+	if !slices.IsSorted(desc) {
+		t.Fatal("descending input not sorted")
+	}
+}
+
+func TestSortManyDuplicates(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	arr := make([]int, 80000)
+	for i := range arr {
+		arr[i] = r.Intn(10)
+	}
+	want := slices.Clone(arr)
+	slices.Sort(want)
+	Sort(NewPool(8), arr)
+	if !slices.Equal(arr, want) {
+		t.Fatal("duplicate-heavy sort mismatch")
+	}
+}
+
+func TestSortedDedup(t *testing.T) {
+	for name, p := range testPools() {
+		t.Run(name, func(t *testing.T) {
+			arr := randInts(99, 30000, 1000)
+			want := slices.Clone(arr)
+			slices.Sort(want)
+			want = slices.Compact(want)
+			got := SortedDedup(p, arr)
+			if !slices.Equal(got, want) {
+				t.Fatalf("SortedDedup mismatch: %d vs %d elements", len(got), len(want))
+			}
+		})
+	}
+}
+
+func TestSortQuickProperty(t *testing.T) {
+	p := NewPool(8)
+	prop := func(arr []int32) bool {
+		ints := make([]int, len(arr))
+		for i, v := range arr {
+			ints[i] = int(v)
+		}
+		want := slices.Clone(ints)
+		slices.Sort(want)
+		Sort(p, ints)
+		return slices.Equal(ints, want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortFloatKeys(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	arr := make([]float64, 30000)
+	for i := range arr {
+		arr[i] = r.NormFloat64()
+	}
+	want := slices.Clone(arr)
+	slices.Sort(want)
+	Sort(NewPool(4), arr)
+	if !slices.Equal(arr, want) {
+		t.Fatal("float sort mismatch")
+	}
+}

@@ -1,0 +1,317 @@
+// Package rbtree implements a classic red-black tree sorted set
+// (Guibas & Sedgewick, CLRS formulation). It is the reproduction's
+// stand-in for C++ std::set, which the paper's §9 sequential comparison
+// measures against: the same balanced-binary-tree data structure with
+// the same Θ(log n) pointer-chasing search cost.
+package rbtree
+
+import "cmp"
+
+type color bool
+
+const (
+	red   color = true
+	black color = false
+)
+
+type node[K cmp.Ordered] struct {
+	key                 K
+	left, right, parent *node[K]
+	color               color
+}
+
+// Tree is a sorted set backed by a red-black tree. Use New to create
+// one; Tree is not safe for concurrent use.
+type Tree[K cmp.Ordered] struct {
+	root *node[K]
+	nil_ *node[K] // shared black sentinel, as in CLRS
+	size int
+}
+
+// New returns an empty red-black tree.
+func New[K cmp.Ordered]() *Tree[K] {
+	sentinel := &node[K]{color: black}
+	return &Tree[K]{root: sentinel, nil_: sentinel}
+}
+
+// Len reports the number of keys in the set.
+func (t *Tree[K]) Len() int { return t.size }
+
+// Contains reports whether key is in the set.
+func (t *Tree[K]) Contains(key K) bool {
+	return t.lookup(key) != t.nil_
+}
+
+func (t *Tree[K]) lookup(key K) *node[K] {
+	x := t.root
+	for x != t.nil_ {
+		switch {
+		case key < x.key:
+			x = x.left
+		case key > x.key:
+			x = x.right
+		default:
+			return x
+		}
+	}
+	return t.nil_
+}
+
+// Insert adds key to the set, reporting whether it was absent.
+func (t *Tree[K]) Insert(key K) bool {
+	y := t.nil_
+	x := t.root
+	for x != t.nil_ {
+		y = x
+		switch {
+		case key < x.key:
+			x = x.left
+		case key > x.key:
+			x = x.right
+		default:
+			return false
+		}
+	}
+	z := &node[K]{key: key, left: t.nil_, right: t.nil_, parent: y, color: red}
+	switch {
+	case y == t.nil_:
+		t.root = z
+	case key < y.key:
+		y.left = z
+	default:
+		y.right = z
+	}
+	t.insertFixup(z)
+	t.size++
+	return true
+}
+
+// Remove deletes key from the set, reporting whether it was present.
+func (t *Tree[K]) Remove(key K) bool {
+	z := t.lookup(key)
+	if z == t.nil_ {
+		return false
+	}
+	t.delete(z)
+	t.size--
+	return true
+}
+
+// Keys returns the keys in ascending order.
+func (t *Tree[K]) Keys() []K {
+	out := make([]K, 0, t.size)
+	var rec func(x *node[K])
+	rec = func(x *node[K]) {
+		if x == t.nil_ {
+			return
+		}
+		rec(x.left)
+		out = append(out, x.key)
+		rec(x.right)
+	}
+	rec(t.root)
+	return out
+}
+
+// Min returns the smallest key; ok is false when the set is empty.
+func (t *Tree[K]) Min() (key K, ok bool) {
+	if t.root == t.nil_ {
+		return key, false
+	}
+	return t.minimum(t.root).key, true
+}
+
+// Max returns the largest key; ok is false when the set is empty.
+func (t *Tree[K]) Max() (key K, ok bool) {
+	if t.root == t.nil_ {
+		return key, false
+	}
+	x := t.root
+	for x.right != t.nil_ {
+		x = x.right
+	}
+	return x.key, true
+}
+
+func (t *Tree[K]) leftRotate(x *node[K]) {
+	y := x.right
+	x.right = y.left
+	if y.left != t.nil_ {
+		y.left.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == t.nil_:
+		t.root = y
+	case x == x.parent.left:
+		x.parent.left = y
+	default:
+		x.parent.right = y
+	}
+	y.left = x
+	x.parent = y
+}
+
+func (t *Tree[K]) rightRotate(x *node[K]) {
+	y := x.left
+	x.left = y.right
+	if y.right != t.nil_ {
+		y.right.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == t.nil_:
+		t.root = y
+	case x == x.parent.right:
+		x.parent.right = y
+	default:
+		x.parent.left = y
+	}
+	y.right = x
+	x.parent = y
+}
+
+func (t *Tree[K]) insertFixup(z *node[K]) {
+	for z.parent.color == red {
+		if z.parent == z.parent.parent.left {
+			y := z.parent.parent.right
+			if y.color == red {
+				z.parent.color = black
+				y.color = black
+				z.parent.parent.color = red
+				z = z.parent.parent
+			} else {
+				if z == z.parent.right {
+					z = z.parent
+					t.leftRotate(z)
+				}
+				z.parent.color = black
+				z.parent.parent.color = red
+				t.rightRotate(z.parent.parent)
+			}
+		} else {
+			y := z.parent.parent.left
+			if y.color == red {
+				z.parent.color = black
+				y.color = black
+				z.parent.parent.color = red
+				z = z.parent.parent
+			} else {
+				if z == z.parent.left {
+					z = z.parent
+					t.rightRotate(z)
+				}
+				z.parent.color = black
+				z.parent.parent.color = red
+				t.leftRotate(z.parent.parent)
+			}
+		}
+	}
+	t.root.color = black
+}
+
+func (t *Tree[K]) transplant(u, v *node[K]) {
+	switch {
+	case u.parent == t.nil_:
+		t.root = v
+	case u == u.parent.left:
+		u.parent.left = v
+	default:
+		u.parent.right = v
+	}
+	v.parent = u.parent
+}
+
+func (t *Tree[K]) minimum(x *node[K]) *node[K] {
+	for x.left != t.nil_ {
+		x = x.left
+	}
+	return x
+}
+
+func (t *Tree[K]) delete(z *node[K]) {
+	y := z
+	yOrig := y.color
+	var x *node[K]
+	switch {
+	case z.left == t.nil_:
+		x = z.right
+		t.transplant(z, z.right)
+	case z.right == t.nil_:
+		x = z.left
+		t.transplant(z, z.left)
+	default:
+		y = t.minimum(z.right)
+		yOrig = y.color
+		x = y.right
+		if y.parent == z {
+			x.parent = y // x may be the sentinel; CLRS sets this anyway
+		} else {
+			t.transplant(y, y.right)
+			y.right = z.right
+			y.right.parent = y
+		}
+		t.transplant(z, y)
+		y.left = z.left
+		y.left.parent = y
+		y.color = z.color
+	}
+	if yOrig == black {
+		t.deleteFixup(x)
+	}
+}
+
+func (t *Tree[K]) deleteFixup(x *node[K]) {
+	for x != t.root && x.color == black {
+		if x == x.parent.left {
+			w := x.parent.right
+			if w.color == red {
+				w.color = black
+				x.parent.color = red
+				t.leftRotate(x.parent)
+				w = x.parent.right
+			}
+			if w.left.color == black && w.right.color == black {
+				w.color = red
+				x = x.parent
+			} else {
+				if w.right.color == black {
+					w.left.color = black
+					w.color = red
+					t.rightRotate(w)
+					w = x.parent.right
+				}
+				w.color = x.parent.color
+				x.parent.color = black
+				w.right.color = black
+				t.leftRotate(x.parent)
+				x = t.root
+			}
+		} else {
+			w := x.parent.left
+			if w.color == red {
+				w.color = black
+				x.parent.color = red
+				t.rightRotate(x.parent)
+				w = x.parent.left
+			}
+			if w.right.color == black && w.left.color == black {
+				w.color = red
+				x = x.parent
+			} else {
+				if w.left.color == black {
+					w.right.color = black
+					w.color = red
+					t.leftRotate(w)
+					w = x.parent.left
+				}
+				w.color = x.parent.color
+				x.parent.color = black
+				w.left.color = black
+				t.rightRotate(x.parent)
+				x = t.root
+			}
+		}
+	}
+	x.color = black
+}

@@ -1,0 +1,214 @@
+package rbtree
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	tr := New[int]()
+	if tr.Len() != 0 || tr.Contains(1) || tr.Remove(1) {
+		t.Fatal("empty tree misbehaves")
+	}
+	if _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree reported ok")
+	}
+	if _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty tree reported ok")
+	}
+	if len(tr.Keys()) != 0 {
+		t.Fatal("empty tree has keys")
+	}
+}
+
+func TestInsertRemoveBasic(t *testing.T) {
+	tr := New[int]()
+	for _, k := range []int{5, 3, 8, 1, 4, 7, 9} {
+		if !tr.Insert(k) {
+			t.Fatalf("Insert(%d) = false", k)
+		}
+	}
+	if tr.Insert(5) {
+		t.Fatal("duplicate insert succeeded")
+	}
+	if !slices.Equal(tr.Keys(), []int{1, 3, 4, 5, 7, 8, 9}) {
+		t.Fatalf("Keys() = %v", tr.Keys())
+	}
+	if mn, _ := tr.Min(); mn != 1 {
+		t.Fatalf("Min = %d", mn)
+	}
+	if mx, _ := tr.Max(); mx != 9 {
+		t.Fatalf("Max = %d", mx)
+	}
+	for _, k := range []int{5, 1, 9} {
+		if !tr.Remove(k) {
+			t.Fatalf("Remove(%d) = false", k)
+		}
+	}
+	if tr.Remove(5) {
+		t.Fatal("double remove succeeded")
+	}
+	if !slices.Equal(tr.Keys(), []int{3, 4, 7, 8}) {
+		t.Fatalf("Keys() after removals = %v", tr.Keys())
+	}
+	checkRB(t, tr)
+}
+
+func TestDifferentialRandom(t *testing.T) {
+	tr := New[int64]()
+	ref := map[int64]bool{}
+	r := rand.New(rand.NewSource(1))
+	for op := 0; op < 60000; op++ {
+		k := r.Int63n(3000)
+		switch r.Intn(3) {
+		case 0:
+			want := !ref[k]
+			ref[k] = true
+			if tr.Insert(k) != want {
+				t.Fatalf("op %d: Insert(%d) mismatch", op, k)
+			}
+		case 1:
+			want := ref[k]
+			delete(ref, k)
+			if tr.Remove(k) != want {
+				t.Fatalf("op %d: Remove(%d) mismatch", op, k)
+			}
+		default:
+			if tr.Contains(k) != ref[k] {
+				t.Fatalf("op %d: Contains(%d) mismatch", op, k)
+			}
+		}
+		if tr.Len() != len(ref) {
+			t.Fatalf("op %d: Len = %d, want %d", op, tr.Len(), len(ref))
+		}
+		if op%5000 == 0 {
+			checkRB(t, tr)
+		}
+	}
+	keys := make([]int64, 0, len(ref))
+	for k := range ref {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	if !slices.Equal(tr.Keys(), keys) {
+		t.Fatal("final contents differ from reference")
+	}
+	checkRB(t, tr)
+}
+
+func TestAscendingDescendingInserts(t *testing.T) {
+	for name, gen := range map[string]func(i int) int{
+		"asc":  func(i int) int { return i },
+		"desc": func(i int) int { return -i },
+	} {
+		t.Run(name, func(t *testing.T) {
+			tr := New[int]()
+			const n = 20000
+			for i := 0; i < n; i++ {
+				tr.Insert(gen(i))
+			}
+			if tr.Len() != n {
+				t.Fatalf("Len = %d", tr.Len())
+			}
+			checkRB(t, tr)
+			if h := height(tr, tr.root); h > 2*log2(n+1)+2 {
+				t.Fatalf("height %d exceeds red-black bound", h)
+			}
+		})
+	}
+}
+
+func TestStringKeys(t *testing.T) {
+	tr := New[string]()
+	words := []string{"pear", "apple", "fig", "mango", "date", "cherry"}
+	for _, w := range words {
+		tr.Insert(w)
+	}
+	want := slices.Clone(words)
+	slices.Sort(want)
+	if !slices.Equal(tr.Keys(), want) {
+		t.Fatalf("Keys() = %v", tr.Keys())
+	}
+}
+
+func TestQuickProperty(t *testing.T) {
+	prop := func(ops []int16) bool {
+		tr := New[int16]()
+		ref := map[int16]bool{}
+		for _, raw := range ops {
+			k := raw % 128
+			if raw%2 == 0 {
+				want := !ref[k]
+				ref[k] = true
+				if tr.Insert(k) != want {
+					return false
+				}
+			} else {
+				want := ref[k]
+				delete(ref, k)
+				if tr.Remove(k) != want {
+					return false
+				}
+			}
+		}
+		return tr.Len() == len(ref)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// checkRB asserts the red-black properties (root black, no red-red
+// edge, uniform black height) plus BST ordering.
+func checkRB[K interface{ ~int | ~int64 | ~string }](t *testing.T, tr *Tree[K]) {
+	t.Helper()
+	if tr.root.color != black {
+		t.Fatal("root is not black")
+	}
+	if tr.nil_.color != black {
+		t.Fatal("sentinel is not black")
+	}
+	var rec func(x *node[K]) int // returns black height
+	rec = func(x *node[K]) int {
+		if x == tr.nil_ {
+			return 1
+		}
+		if x.color == red && (x.left.color == red || x.right.color == red) {
+			t.Fatal("red node with red child")
+		}
+		if x.left != tr.nil_ && x.left.key >= x.key {
+			t.Fatal("BST order violated on the left")
+		}
+		if x.right != tr.nil_ && x.right.key <= x.key {
+			t.Fatal("BST order violated on the right")
+		}
+		lh := rec(x.left)
+		rh := rec(x.right)
+		if lh != rh {
+			t.Fatalf("black heights differ: %d vs %d", lh, rh)
+		}
+		if x.color == black {
+			return lh + 1
+		}
+		return lh
+	}
+	rec(tr.root)
+}
+
+func height[K interface{ ~int | ~int64 | ~string }](tr *Tree[K], x *node[K]) int {
+	if x == tr.nil_ {
+		return 0
+	}
+	return 1 + max(height(tr, x.left), height(tr, x.right))
+}
+
+func log2(n int) int {
+	h := 0
+	for n > 1 {
+		n >>= 1
+		h++
+	}
+	return h
+}

@@ -1,0 +1,143 @@
+// Package skiplist implements a probabilistic skip list sorted set
+// (Pugh, CACM 1990) — one of the classic O(log n) sorted-set
+// structures cited in the paper's introduction. It serves as a second
+// scalar baseline next to the red-black tree: same asymptotics, very
+// different constant factors and memory behavior.
+package skiplist
+
+import "cmp"
+
+const (
+	// maxLevel bounds tower height; 2^32 expected keys is far beyond
+	// any workload in this repository.
+	maxLevel = 32
+	// pInverse is 1/p for the geometric level distribution: a node is
+	// promoted to the next level with probability 1/4 (Pugh's
+	// recommended trade-off between search cost and space).
+	pInverse = 4
+)
+
+type node[K cmp.Ordered] struct {
+	key  K
+	next []*node[K]
+}
+
+// List is a sorted set backed by a skip list. Use New to create one;
+// List is not safe for concurrent use.
+type List[K cmp.Ordered] struct {
+	head  *node[K] // sentinel with maxLevel links; key unused
+	level int      // current highest level in use
+	size  int
+	rng   uint64 // splitmix64 state for level draws
+}
+
+// New returns an empty skip list seeded deterministically; two lists
+// built with the same seed and operation sequence have identical shape.
+func New[K cmp.Ordered](seed uint64) *List[K] {
+	return &List[K]{
+		head:  &node[K]{next: make([]*node[K], maxLevel)},
+		level: 1,
+		rng:   seed ^ 0x9e3779b97f4a7c15,
+	}
+}
+
+// Len reports the number of keys in the set.
+func (l *List[K]) Len() int { return l.size }
+
+// Contains reports whether key is in the set.
+func (l *List[K]) Contains(key K) bool {
+	x := l.head
+	for i := l.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < key {
+			x = x.next[i]
+		}
+	}
+	x = x.next[0]
+	return x != nil && x.key == key
+}
+
+// Insert adds key to the set, reporting whether it was absent.
+func (l *List[K]) Insert(key K) bool {
+	var update [maxLevel]*node[K]
+	x := l.head
+	for i := l.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < key {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+	if cand := x.next[0]; cand != nil && cand.key == key {
+		return false
+	}
+	lvl := l.randomLevel()
+	if lvl > l.level {
+		for i := l.level; i < lvl; i++ {
+			update[i] = l.head
+		}
+		l.level = lvl
+	}
+	n := &node[K]{key: key, next: make([]*node[K], lvl)}
+	for i := 0; i < lvl; i++ {
+		n.next[i] = update[i].next[i]
+		update[i].next[i] = n
+	}
+	l.size++
+	return true
+}
+
+// Remove deletes key from the set, reporting whether it was present.
+func (l *List[K]) Remove(key K) bool {
+	var update [maxLevel]*node[K]
+	x := l.head
+	for i := l.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < key {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+	x = x.next[0]
+	if x == nil || x.key != key {
+		return false
+	}
+	for i := 0; i < len(x.next); i++ {
+		if update[i].next[i] == x {
+			update[i].next[i] = x.next[i]
+		}
+	}
+	for l.level > 1 && l.head.next[l.level-1] == nil {
+		l.level--
+	}
+	l.size--
+	return true
+}
+
+// Keys returns the keys in ascending order.
+func (l *List[K]) Keys() []K {
+	out := make([]K, 0, l.size)
+	for x := l.head.next[0]; x != nil; x = x.next[0] {
+		out = append(out, x.key)
+	}
+	return out
+}
+
+// Level reports the current number of levels in use (for shape tests).
+func (l *List[K]) Level() int { return l.level }
+
+// randomLevel draws a tower height from the geometric distribution
+// with success probability 1/pInverse.
+func (l *List[K]) randomLevel() int {
+	lvl := 1
+	for lvl < maxLevel && l.next64()%pInverse == 0 {
+		lvl++
+	}
+	return lvl
+}
+
+// next64 advances the embedded splitmix64 generator.
+func (l *List[K]) next64() uint64 {
+	l.rng += 0x9e3779b97f4a7c15
+	z := l.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

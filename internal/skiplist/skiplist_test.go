@@ -1,0 +1,141 @@
+package skiplist
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	l := New[int](1)
+	if l.Len() != 0 || l.Contains(3) || l.Remove(3) {
+		t.Fatal("empty list misbehaves")
+	}
+	if len(l.Keys()) != 0 {
+		t.Fatal("empty list has keys")
+	}
+}
+
+func TestInsertRemoveBasic(t *testing.T) {
+	l := New[int](2)
+	for _, k := range []int{9, 1, 5, 3, 7} {
+		if !l.Insert(k) {
+			t.Fatalf("Insert(%d) = false", k)
+		}
+	}
+	if l.Insert(5) {
+		t.Fatal("duplicate insert succeeded")
+	}
+	if !slices.Equal(l.Keys(), []int{1, 3, 5, 7, 9}) {
+		t.Fatalf("Keys() = %v", l.Keys())
+	}
+	if !l.Remove(5) || l.Remove(5) {
+		t.Fatal("Remove semantics wrong")
+	}
+	if !slices.Equal(l.Keys(), []int{1, 3, 7, 9}) {
+		t.Fatalf("Keys() = %v", l.Keys())
+	}
+}
+
+func TestDifferentialRandom(t *testing.T) {
+	l := New[int64](3)
+	ref := map[int64]bool{}
+	r := rand.New(rand.NewSource(4))
+	for op := 0; op < 60000; op++ {
+		k := r.Int63n(2500)
+		switch r.Intn(3) {
+		case 0:
+			want := !ref[k]
+			ref[k] = true
+			if l.Insert(k) != want {
+				t.Fatalf("op %d: Insert(%d) mismatch", op, k)
+			}
+		case 1:
+			want := ref[k]
+			delete(ref, k)
+			if l.Remove(k) != want {
+				t.Fatalf("op %d: Remove(%d) mismatch", op, k)
+			}
+		default:
+			if l.Contains(k) != ref[k] {
+				t.Fatalf("op %d: Contains(%d) mismatch", op, k)
+			}
+		}
+		if l.Len() != len(ref) {
+			t.Fatalf("op %d: Len = %d, want %d", op, l.Len(), len(ref))
+		}
+	}
+	keys := make([]int64, 0, len(ref))
+	for k := range ref {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	if !slices.Equal(l.Keys(), keys) {
+		t.Fatal("final contents differ")
+	}
+}
+
+func TestKeysAlwaysSorted(t *testing.T) {
+	l := New[int64](5)
+	r := rand.New(rand.NewSource(6))
+	for i := 0; i < 20000; i++ {
+		l.Insert(r.Int63n(1 << 40))
+	}
+	if !slices.IsSorted(l.Keys()) {
+		t.Fatal("Keys() not sorted")
+	}
+}
+
+func TestLevelDistribution(t *testing.T) {
+	// With p = 1/4 the expected level for n keys is log4(n); assert a
+	// generous envelope so the RNG wiring is validated without
+	// flakiness.
+	l := New[int64](7)
+	const n = 100000
+	for i := int64(0); i < n; i++ {
+		l.Insert(i)
+	}
+	if lv := l.Level(); lv < 5 || lv > 20 {
+		t.Fatalf("level = %d for n = %d; level distribution broken", lv, n)
+	}
+}
+
+func TestDeterministicShape(t *testing.T) {
+	a := New[int](42)
+	b := New[int](42)
+	for i := 0; i < 1000; i++ {
+		a.Insert(i)
+		b.Insert(i)
+	}
+	if a.Level() != b.Level() {
+		t.Fatal("same seed produced different shapes")
+	}
+}
+
+func TestQuickProperty(t *testing.T) {
+	prop := func(ops []int16, seed uint64) bool {
+		l := New[int16](seed)
+		ref := map[int16]bool{}
+		for _, raw := range ops {
+			k := raw % 100
+			if raw%2 == 0 {
+				want := !ref[k]
+				ref[k] = true
+				if l.Insert(k) != want {
+					return false
+				}
+			} else {
+				want := ref[k]
+				delete(ref, k)
+				if l.Remove(k) != want {
+					return false
+				}
+			}
+		}
+		return l.Len() == len(ref)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,300 @@
+// Package treap implements a join-based parallel-batched treap
+// (Blelloch & Reid-Miller, SPAA 1998 — cited in the paper's
+// introduction as prior parallel-batched sorted-set work). It is the
+// batched-parallel *baseline* of the reproduction: the same set-set
+// operations as the PB-IST — union, difference, intersection — built on
+// split/join recursion over a randomized binary search tree, with
+// Θ(log n) expected node depth instead of the IST's Θ(log log n).
+//
+// Treaps here are functionally persistent: operations build new paths
+// and share untouched subtrees, which makes the fork-join parallelism
+// race-free by construction. Node priorities are a deterministic hash
+// of the key, so any two treaps over the same key set have identical
+// shape — that is what makes split-free joins well defined.
+package treap
+
+import (
+	"math"
+
+	"repro/internal/iindex"
+	"repro/internal/parallel"
+)
+
+// node is an immutable treap node.
+type node[K iindex.Numeric] struct {
+	key         K
+	prio        uint64
+	left, right *node[K]
+	size        int
+}
+
+// Set is a sorted set of numeric keys backed by a treap. The zero
+// value is an empty usable set. Batched operations run on the pool
+// passed to New; a nil pool means sequential.
+type Set[K iindex.Numeric] struct {
+	root *node[K]
+	pool *parallel.Pool
+}
+
+// New returns an empty treap set using pool for batched operations.
+func New[K iindex.Numeric](pool *parallel.Pool) *Set[K] {
+	return &Set[K]{pool: pool}
+}
+
+// NewFromSorted bulk-loads a set from sorted duplicate-free keys.
+func NewFromSorted[K iindex.Numeric](pool *parallel.Pool, keys []K) *Set[K] {
+	s := New[K](pool)
+	s.root = s.build(keys)
+	return s
+}
+
+// Len reports the number of keys in the set.
+func (s *Set[K]) Len() int { return s.root.len() }
+
+func (v *node[K]) len() int {
+	if v == nil {
+		return 0
+	}
+	return v.size
+}
+
+// Contains reports whether key is in the set.
+func (s *Set[K]) Contains(key K) bool {
+	v := s.root
+	for v != nil {
+		switch {
+		case key < v.key:
+			v = v.left
+		case key > v.key:
+			v = v.right
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// Insert adds key to the set, reporting whether it was absent.
+func (s *Set[K]) Insert(key K) bool {
+	before := s.Len()
+	s.root = union(s.pool, s.root, &node[K]{key: key, prio: prioOf(key), size: 1})
+	return s.Len() == before+1
+}
+
+// Remove deletes key from the set, reporting whether it was present.
+func (s *Set[K]) Remove(key K) bool {
+	l, found, r := split(s.root, key)
+	if !found {
+		return false
+	}
+	s.root = join2(l, r)
+	return true
+}
+
+// UnionWith adds every key of the sorted duplicate-free batch,
+// returning the number of keys that were new: A ← A ∪ B.
+func (s *Set[K]) UnionWith(keys []K) int {
+	if len(keys) == 0 {
+		return 0
+	}
+	before := s.Len()
+	s.root = union(s.pool, s.root, s.build(keys))
+	return s.Len() - before
+}
+
+// DifferenceWith removes every key of the sorted duplicate-free batch,
+// returning the number of keys removed: A ← A \ B.
+func (s *Set[K]) DifferenceWith(keys []K) int {
+	if len(keys) == 0 {
+		return 0
+	}
+	before := s.Len()
+	s.root = difference(s.pool, s.root, s.build(keys))
+	return before - s.Len()
+}
+
+// IntersectWith keeps only the keys also present in the sorted
+// duplicate-free batch, returning the resulting size: A ← A ∩ B.
+func (s *Set[K]) IntersectWith(keys []K) int {
+	s.root = intersect(s.pool, s.root, s.build(keys))
+	return s.Len()
+}
+
+// ContainsBatched reports membership for each key of the sorted batch.
+func (s *Set[K]) ContainsBatched(keys []K) []bool {
+	out := make([]bool, len(keys))
+	parallel.For(s.pool, len(keys), 0, func(i int) {
+		out[i] = s.Contains(keys[i])
+	})
+	return out
+}
+
+// Keys returns the keys in ascending order.
+func (s *Set[K]) Keys() []K {
+	out := make([]K, 0, s.Len())
+	var rec func(v *node[K])
+	rec = func(v *node[K]) {
+		if v == nil {
+			return
+		}
+		rec(v.left)
+		out = append(out, v.key)
+		rec(v.right)
+	}
+	rec(s.root)
+	return out
+}
+
+// Height reports the number of nodes on the longest root-to-leaf path.
+func (s *Set[K]) Height() int {
+	var rec func(v *node[K]) int
+	rec = func(v *node[K]) int {
+		if v == nil {
+			return 0
+		}
+		return 1 + max(rec(v.left), rec(v.right))
+	}
+	return rec(s.root)
+}
+
+// build constructs a treap from sorted duplicate-free keys by rooting
+// each range at its maximum-priority element: the unique treap shape
+// for the hash priorities, built without rotations.
+func (s *Set[K]) build(keys []K) *node[K] {
+	if len(keys) == 0 {
+		return nil
+	}
+	best := 0
+	bestPrio := prioOf(keys[0])
+	for i := 1; i < len(keys); i++ {
+		if p := prioOf(keys[i]); p > bestPrio {
+			best, bestPrio = i, p
+		}
+	}
+	v := &node[K]{key: keys[best], prio: bestPrio, size: len(keys)}
+	s.pool.Do(
+		func() { v.left = s.build(keys[:best]) },
+		func() { v.right = s.build(keys[best+1:]) },
+	)
+	return v
+}
+
+// mk assembles a node from a key/priority and two treaps strictly
+// smaller/greater than the key.
+func mk[K iindex.Numeric](key K, prio uint64, l, r *node[K]) *node[K] {
+	return &node[K]{key: key, prio: prio, left: l, right: r, size: l.len() + r.len() + 1}
+}
+
+// split partitions t into keys < k and keys > k, reporting whether k
+// itself was present.
+func split[K iindex.Numeric](t *node[K], k K) (l *node[K], found bool, r *node[K]) {
+	if t == nil {
+		return nil, false, nil
+	}
+	switch {
+	case k < t.key:
+		ll, f, lr := split(t.left, k)
+		return ll, f, mk(t.key, t.prio, lr, t.right)
+	case k > t.key:
+		rl, f, rr := split(t.right, k)
+		return mk(t.key, t.prio, t.left, rl), f, rr
+	default:
+		return t.left, true, t.right
+	}
+}
+
+// join2 concatenates two treaps where every key of l precedes every
+// key of r.
+func join2[K iindex.Numeric](l, r *node[K]) *node[K] {
+	switch {
+	case l == nil:
+		return r
+	case r == nil:
+		return l
+	case l.prio > r.prio:
+		return mk(l.key, l.prio, l.left, join2(l.right, r))
+	default:
+		return mk(r.key, r.prio, join2(l, r.left), r.right)
+	}
+}
+
+// union returns a ∪ b, recursing on both sides of the higher-priority
+// root in parallel (Blelloch & Reid-Miller).
+func union[K iindex.Numeric](p *parallel.Pool, a, b *node[K]) *node[K] {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if a.prio < b.prio {
+		a, b = b, a
+	}
+	bl, _, br := split(b, a.key)
+	var l, r *node[K]
+	maybePar(p, a.size+b.size,
+		func() { l = union(p, a.left, bl) },
+		func() { r = union(p, a.right, br) },
+	)
+	return mk(a.key, a.prio, l, r)
+}
+
+// difference returns a \ b.
+func difference[K iindex.Numeric](p *parallel.Pool, a, b *node[K]) *node[K] {
+	if a == nil || b == nil {
+		return a
+	}
+	bl, found, br := split(b, a.key)
+	var l, r *node[K]
+	maybePar(p, a.size+b.size,
+		func() { l = difference(p, a.left, bl) },
+		func() { r = difference(p, a.right, br) },
+	)
+	if found {
+		return join2(l, r)
+	}
+	return mk(a.key, a.prio, l, r)
+}
+
+// intersect returns a ∩ b.
+func intersect[K iindex.Numeric](p *parallel.Pool, a, b *node[K]) *node[K] {
+	if a == nil || b == nil {
+		return nil
+	}
+	bl, found, br := split(b, a.key)
+	var l, r *node[K]
+	maybePar(p, a.size+b.size,
+		func() { l = intersect(p, a.left, bl) },
+		func() { r = intersect(p, a.right, br) },
+	)
+	if found {
+		return mk(a.key, a.prio, l, r)
+	}
+	return join2(l, r)
+}
+
+// parCutoff is the combined subtree size below which set operations
+// recurse sequentially.
+const parCutoff = 1024
+
+func maybePar(p *parallel.Pool, size int, f, g func()) {
+	if size >= parCutoff {
+		p.Do(f, g)
+		return
+	}
+	f()
+	g()
+}
+
+// prioOf hashes a key to its treap priority with the splitmix64
+// finalizer: deterministic and key-order independent. The key is
+// identified by its float64 bit pattern; integer keys beyond ±2^53
+// may collide, which costs balance determinism but never correctness
+// (all treap operations tolerate equal priorities).
+func prioOf[K iindex.Numeric](key K) uint64 {
+	z := math.Float64bits(float64(key))
+	z ^= 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,54 @@
+package pbist_test
+
+import (
+	"fmt"
+
+	"repro/pbist"
+)
+
+func Example() {
+	tree := pbist.New[int64](pbist.Options{Workers: 2})
+	tree.InsertBatch([]int64{30, 10, 20, 10}) // unsorted, duplicated: fine
+	fmt.Println(tree.Keys())
+	fmt.Println(tree.ContainsBatch([]int64{10, 15, 20}))
+	// Output:
+	// [10 20 30]
+	// [true false true]
+}
+
+func ExampleTree_InsertBatch() {
+	// InsertBatch is set union: A ← A ∪ B.
+	a := pbist.NewFromKeys(pbist.Options{Workers: 2}, []int64{1, 3, 5, 7, 9})
+	added := a.InsertBatch([]int64{2, 4, 5, 7, 8})
+	fmt.Println(added, a.Keys())
+	// Output:
+	// 3 [1 2 3 4 5 7 8 9]
+}
+
+func ExampleTree_RemoveBatch() {
+	// RemoveBatch is set difference: A ← A \ B.
+	a := pbist.NewFromKeys(pbist.Options{Workers: 2}, []int64{1, 3, 5, 7, 9})
+	removed := a.RemoveBatch([]int64{2, 3, 6, 7, 9})
+	fmt.Println(removed, a.Keys())
+	// Output:
+	// 3 [1 5]
+}
+
+func ExampleTree_Intersection() {
+	a := pbist.NewFromKeys(pbist.Options{Workers: 2}, []int64{1, 3, 5, 7, 9})
+	fmt.Println(a.Intersection([]int64{9, 4, 3, 10}))
+	// Output:
+	// [3 9]
+}
+
+func ExampleTree_Stats() {
+	keys := make([]int64, 1000)
+	for i := range keys {
+		keys[i] = int64(i)
+	}
+	tree := pbist.NewFromKeys(pbist.Options{Workers: 1}, keys)
+	s := tree.Stats()
+	fmt.Println(s.LiveKeys, s.Height > 0, s.RootRepLen)
+	// Output:
+	// 1000 true 31
+}

@@ -1,0 +1,85 @@
+package pbist
+
+import (
+	"slices"
+	"testing"
+)
+
+// FuzzBatchedOps drives a tree and a reference map with an operation
+// stream decoded from raw fuzz bytes. Seeds double as regression tests
+// under plain `go test`; run `go test -fuzz=FuzzBatchedOps ./pbist`
+// for open-ended exploration.
+func FuzzBatchedOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{255, 254, 253, 3, 3, 3, 0, 0})
+	f.Add([]byte{9, 9, 9, 9, 100, 100, 42})
+	f.Add([]byte{1})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tree := New[int64](Options{Workers: 2, LeafCap: 4, RebuildFactor: 1})
+		ref := map[int64]bool{}
+		for i := 0; i < len(data); {
+			op := data[i] % 3
+			i++
+			// Decode a small batch from the next bytes.
+			n := 0
+			if i < len(data) {
+				n = int(data[i]) % 16
+				i++
+			}
+			batch := make([]int64, 0, n)
+			for j := 0; j < n && i < len(data); j++ {
+				batch = append(batch, int64(data[i]%64))
+				i++
+			}
+			switch op {
+			case 0:
+				want := 0
+				for _, k := range dedup(batch) {
+					if !ref[k] {
+						ref[k] = true
+						want++
+					}
+				}
+				if got := tree.InsertBatch(batch); got != want {
+					t.Fatalf("InsertBatch(%v) = %d, want %d", batch, got, want)
+				}
+			case 1:
+				want := 0
+				for _, k := range dedup(batch) {
+					if ref[k] {
+						delete(ref, k)
+						want++
+					}
+				}
+				if got := tree.RemoveBatch(batch); got != want {
+					t.Fatalf("RemoveBatch(%v) = %d, want %d", batch, got, want)
+				}
+			default:
+				got := tree.ContainsBatch(batch)
+				for j, k := range batch {
+					if got[j] != ref[k] {
+						t.Fatalf("ContainsBatch(%v)[%d] = %v, want %v", batch, j, got[j], ref[k])
+					}
+				}
+			}
+			if tree.Len() != len(ref) {
+				t.Fatalf("Len = %d, want %d", tree.Len(), len(ref))
+			}
+		}
+		keys := make([]int64, 0, len(ref))
+		for k := range ref {
+			keys = append(keys, k)
+		}
+		slices.Sort(keys)
+		if !slices.Equal(tree.Keys(), keys) {
+			t.Fatalf("final contents %v, want %v", tree.Keys(), keys)
+		}
+	})
+}
+
+func dedup(batch []int64) []int64 {
+	cp := slices.Clone(batch)
+	slices.Sort(cp)
+	return slices.Compact(cp)
+}

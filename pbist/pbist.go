@@ -1,0 +1,271 @@
+// Package pbist provides a sorted set of numeric keys backed by a
+// Parallel-Batched Interpolation Search Tree, the data structure of
+// "Parallel-batched Interpolation Search Tree" (Aksenov, Kokorin,
+// Martsenyuk; PACT 2023).
+//
+// A Tree serves single-key operations (Contains, Insert, Remove) and —
+// its reason to exist — batched operations that process many keys in
+// one parallel pass:
+//
+//	t := pbist.New[int64](pbist.Options{})
+//	t.InsertBatch(ids)                // A ← A ∪ ids
+//	hits := t.ContainsBatch(queries)  // membership vector
+//	t.RemoveBatch(expired)            // A ← A \ expired
+//
+// When keys are drawn from a smooth distribution (uniform, for
+// example), a batch of m operations against n stored keys costs
+// expected O(m·log log n) work — asymptotically better than the
+// O(m·log n) of balanced binary trees — and polylogarithmic span, so
+// throughput scales with cores.
+//
+// Batched methods accept arbitrary key slices: unsorted input is
+// sorted and duplicated keys are coalesced internally (ContainsBatch
+// still answers positionally for every input element). Callers that
+// can guarantee sorted duplicate-free batches set Options.AssumeSorted
+// to skip normalization. A Tree is not safe for concurrent use: the
+// parallel-batched model runs one batch at a time and parallelizes
+// inside the batch.
+package pbist
+
+import (
+	"runtime"
+	"slices"
+
+	"repro/internal/core"
+	"repro/internal/parallel"
+)
+
+// Key is the constraint on tree keys: ordered types with an
+// order-preserving conversion to float64, which interpolation search
+// needs to estimate positions numerically.
+type Key interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 | ~uintptr |
+		~float32 | ~float64
+}
+
+// Options configures a Tree. The zero value gives sensible defaults.
+type Options struct {
+	// Workers bounds the parallelism of batched operations. 0 selects
+	// GOMAXPROCS; 1 makes every operation sequential.
+	Workers int
+	// LeafCap is the paper's H: subtrees at most this large are stored
+	// as plain sorted arrays. Default 16.
+	LeafCap int
+	// RebuildFactor is the paper's C: a subtree is rebuilt once it has
+	// absorbed more than C times its built size in modifications.
+	// Default 2.
+	RebuildFactor int
+	// IndexSizeFactor scales the per-node interpolation index.
+	// Default 1.0.
+	IndexSizeFactor float64
+	// RankTraversal switches batched traversals from per-key
+	// interpolation search to merge-based ranking. Interpolation is
+	// faster on smooth inputs; ranking is distribution-insensitive.
+	RankTraversal bool
+	// AssumeSorted promises that every batch passed to the tree is
+	// already sorted and duplicate-free, skipping normalization.
+	// Results are undefined if the promise is broken; use only on
+	// trusted input paths.
+	AssumeSorted bool
+}
+
+func (o Options) coreConfig() core.Config {
+	cfg := core.Config{
+		LeafCap:         o.LeafCap,
+		RebuildFactor:   o.RebuildFactor,
+		IndexSizeFactor: o.IndexSizeFactor,
+	}
+	if o.RankTraversal {
+		cfg.Traverse = core.TraverseRank
+	}
+	return cfg
+}
+
+func (o Options) pool() *parallel.Pool {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return parallel.NewPool(w)
+}
+
+// Tree is a parallel-batched interpolation search tree over keys of
+// type K. Create one with New or NewFromKeys.
+type Tree[K Key] struct {
+	t            *core.Tree[K]
+	pool         *parallel.Pool
+	assumeSorted bool
+}
+
+// New returns an empty tree.
+func New[K Key](opts Options) *Tree[K] {
+	p := opts.pool()
+	return &Tree[K]{
+		t:            core.New[K](opts.coreConfig(), p),
+		pool:         p,
+		assumeSorted: opts.AssumeSorted,
+	}
+}
+
+// NewFromKeys returns a tree containing keys, bulk-loaded in O(n) work
+// into an ideally balanced shape. The input slice is not retained and
+// need not be sorted (unless Options.AssumeSorted, in which case it
+// must be sorted and duplicate-free).
+func NewFromKeys[K Key](opts Options, keys []K) *Tree[K] {
+	p := opts.pool()
+	tr := &Tree[K]{pool: p, assumeSorted: opts.AssumeSorted}
+	tr.t = core.NewFromSorted(opts.coreConfig(), p, tr.normalize(keys))
+	return tr
+}
+
+// normalize returns keys as a sorted duplicate-free slice, copying
+// when mutation would be observable by the caller.
+func (tr *Tree[K]) normalize(keys []K) []K {
+	if tr.assumeSorted || isSortedUnique(keys) {
+		return keys
+	}
+	cp := slices.Clone(keys)
+	return parallel.SortedDedup(tr.pool, cp)
+}
+
+func isSortedUnique[K Key](keys []K) bool {
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// Len reports the number of keys in the set.
+func (tr *Tree[K]) Len() int { return tr.t.Len() }
+
+// Contains reports whether key is in the set.
+func (tr *Tree[K]) Contains(key K) bool { return tr.t.Contains(key) }
+
+// Insert adds key, reporting whether it was absent.
+func (tr *Tree[K]) Insert(key K) bool { return tr.t.Insert(key) }
+
+// Remove deletes key, reporting whether it was present.
+func (tr *Tree[K]) Remove(key K) bool { return tr.t.Remove(key) }
+
+// Keys returns the keys in ascending order.
+func (tr *Tree[K]) Keys() []K { return tr.t.Keys() }
+
+// ContainsBatch reports membership for every element of keys:
+// result[i] corresponds to keys[i], whatever the input order, and
+// duplicate inputs each receive their (identical) answer.
+func (tr *Tree[K]) ContainsBatch(keys []K) []bool {
+	if len(keys) == 0 {
+		return nil
+	}
+	if tr.assumeSorted || isSortedUnique(keys) {
+		return tr.t.ContainsBatched(keys)
+	}
+	// Query the sorted unique view, then scatter answers back to the
+	// caller's positions.
+	sorted := parallel.SortedDedup(tr.pool, slices.Clone(keys))
+	hits := tr.t.ContainsBatched(sorted)
+	out := make([]bool, len(keys))
+	parallel.For(tr.pool, len(keys), 0, func(i int) {
+		j, _ := slices.BinarySearch(sorted, keys[i])
+		out[i] = hits[j]
+	})
+	return out
+}
+
+// InsertBatch adds every element of keys, returning how many were
+// actually new. It computes the set union A ← A ∪ keys.
+func (tr *Tree[K]) InsertBatch(keys []K) int {
+	if len(keys) == 0 {
+		return 0
+	}
+	return tr.t.InsertBatched(tr.normalize(keys))
+}
+
+// RemoveBatch deletes every element of keys, returning how many were
+// actually present. It computes the set difference A ← A \ keys.
+func (tr *Tree[K]) RemoveBatch(keys []K) int {
+	if len(keys) == 0 {
+		return 0
+	}
+	return tr.t.RemoveBatched(tr.normalize(keys))
+}
+
+// Intersection returns the elements of keys that are present in the
+// set, sorted and duplicate-free: A ∩ keys. The set is not modified.
+func (tr *Tree[K]) Intersection(keys []K) []K {
+	if len(keys) == 0 {
+		return nil
+	}
+	norm := tr.normalize(keys)
+	hits := tr.t.ContainsBatched(norm)
+	return parallel.FilterIndex(tr.pool, norm, func(i int) bool { return hits[i] })
+}
+
+// Min returns the smallest key in the set; ok is false when empty.
+func (tr *Tree[K]) Min() (key K, ok bool) { return tr.t.Min() }
+
+// Max returns the largest key in the set; ok is false when empty.
+func (tr *Tree[K]) Max() (key K, ok bool) { return tr.t.Max() }
+
+// Range returns the keys in [lo, hi], ascending.
+func (tr *Tree[K]) Range(lo, hi K) []K { return tr.t.Range(lo, hi) }
+
+// CountRange reports how many keys lie in [lo, hi] without
+// materializing them.
+func (tr *Tree[K]) CountRange(lo, hi K) int { return tr.t.CountRange(lo, hi) }
+
+// Select returns the idx-th smallest key (0-based); ok is false when
+// idx is out of range.
+func (tr *Tree[K]) Select(idx int) (key K, ok bool) { return tr.t.Select(idx) }
+
+// RankOf reports the number of keys strictly less than key.
+func (tr *Tree[K]) RankOf(key K) int { return tr.t.RankOf(key) }
+
+// Workers reports the parallelism bound of batched operations.
+func (tr *Tree[K]) Workers() int { return tr.pool.Workers() }
+
+// SetWorkers rebinds the tree to a pool of n workers (0 selects
+// GOMAXPROCS). Existing contents are untouched; only subsequent
+// operations are affected.
+func (tr *Tree[K]) SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	tr.pool = parallel.NewPool(n)
+	tr.t.SetPool(tr.pool)
+}
+
+// Stats summarizes the structure of a tree.
+type Stats struct {
+	LiveKeys   int // keys logically in the set
+	DeadKeys   int // logically removed keys awaiting a rebuild
+	Nodes      int // total nodes, leaves included
+	Leaves     int // leaf nodes
+	Height     int // nodes on the longest root-to-leaf path; 0 when empty
+	RootRepLen int // length of the root's Rep array (Θ(√n) when balanced)
+	MaxLeafLen int // longest leaf array
+	IndexBytes int // memory held by interpolation indexes
+}
+
+// Stats reports structural statistics (shape, balance, and memory of
+// the interpolation indexes).
+func (tr *Tree[K]) Stats() Stats {
+	s := tr.t.Stats()
+	return Stats{
+		LiveKeys:   s.LiveKeys,
+		DeadKeys:   s.DeadKeys,
+		Nodes:      s.Nodes,
+		Leaves:     s.Leaves,
+		Height:     s.Height,
+		RootRepLen: s.RootRepLen,
+		MaxLeafLen: s.MaxLeafLen,
+		IndexBytes: s.IndexBytes,
+	}
+}
+
+// Height reports the number of nodes on the longest root-to-leaf
+// path. For an ideally balanced tree of n keys this is O(log log n).
+func (tr *Tree[K]) Height() int { return tr.t.Height() }
