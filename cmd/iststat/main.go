@@ -8,6 +8,7 @@
 //
 //	iststat -n 1000000                 # uniform synthetic workload
 //	iststat -n 1000000 -clusters 32    # non-smooth clustered workload
+//	iststat -n 1000000 -dist expspaced # adversarial anti-interpolation keys
 //	seq 1 100000 | iststat -stdin      # keys from stdin
 package main
 
@@ -24,15 +25,18 @@ import (
 
 func main() {
 	var (
-		n         = flag.Int("n", 1_000_000, "number of synthetic keys")
-		clusters  = flag.Int("clusters", 0, "pack keys into this many clusters (0 = uniform)")
+		n        = flag.Int("n", 1_000_000, "number of synthetic keys")
+		clusters = flag.Int("clusters", 0, "pack keys into this many clusters (0 = uniform)")
+		distName = flag.String("dist", "",
+			"key distribution (empty = uniform, or clustered when -clusters is set;\n"+
+				"-dist clustered honors -clusters):\n"+dist.Describe())
 		seed      = flag.Uint64("seed", 1, "workload seed")
 		fromStdin = flag.Bool("stdin", false, "read whitespace-separated integer keys from stdin instead")
 		churn     = flag.Int("churn", 0, "apply this many random insert+remove batch rounds before reporting")
 	)
 	flag.Parse()
 
-	keys, err := loadKeys(*fromStdin, *n, *clusters, *seed)
+	keys, err := loadKeys(*fromStdin, *n, *clusters, *distName, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "iststat:", err)
 		os.Exit(1)
@@ -60,7 +64,7 @@ func main() {
 	fmt.Printf("index memory   %d bytes\n", s.IndexBytes)
 }
 
-func loadKeys(fromStdin bool, n, clusters int, seed uint64) ([]int64, error) {
+func loadKeys(fromStdin bool, n, clusters int, distName string, seed uint64) ([]int64, error) {
 	if fromStdin {
 		var keys []int64
 		sc := bufio.NewScanner(os.Stdin)
@@ -80,8 +84,15 @@ func loadKeys(fromStdin bool, n, clusters int, seed uint64) ([]int64, error) {
 	}
 	r := dist.NewRNG(seed)
 	lo, hi := int64(-(2 * n)), int64(2*n)
-	if clusters > 0 {
+	if distName == "" {
+		if clusters > 0 {
+			distName = "clustered"
+		} else {
+			distName = "uniform"
+		}
+	}
+	if distName == "clustered" && clusters > 0 {
 		return dist.Clustered(r, n, clusters, lo, hi), nil
 	}
-	return dist.UniformSet(r, n, lo, hi), nil
+	return dist.Generate(distName, r, n, lo, hi)
 }

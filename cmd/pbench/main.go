@@ -5,6 +5,8 @@
 // Examples:
 //
 //	pbench -experiment fig17 -n 4000000 -m 1000000 -workers 1,2,4,8,16
+//	pbench -experiment fig17 -dist zipf
+//	pbench -experiment fig17 -dist clustered -clusters 128
 //	pbench -experiment seqcmp -reps 5
 //	pbench -experiment traverse
 //	pbench -experiment rebuildc -rounds 6
@@ -22,6 +24,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/dist"
 )
 
 func main() {
@@ -30,14 +33,22 @@ func main() {
 		n          = flag.Int("n", 4_000_000, "target tree size (paper: 1e8)")
 		m          = flag.Int("m", 1_000_000, "batch size (paper: 1e7)")
 		seed       = flag.Uint64("seed", 0x5eed, "workload seed")
-		workersCSV = flag.String("workers", "1,2,4,8,16", "worker counts for fig17 (comma separated); first entry is the treap/traverse worker count")
+		workersCSV = flag.String("workers", "1,2,4,8,16", "worker counts for fig17 (comma separated); the last entry is the worker count of the single-point experiments (traverse, treap, sweeps)")
 		reps       = flag.Int("reps", 3, "repetitions per measurement (paper: 10)")
 		rounds     = flag.Int("rounds", 4, "churn rounds for the rebuildc ablation")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		distName   = flag.String("dist", "",
+			"batch distribution (empty = uniform, or clustered when -clusters is set):\n"+dist.Describe())
+		clusters = flag.Int("clusters", 0,
+			"cluster count when -dist clustered (0 = default "+strconv.Itoa(dist.DefaultClusters)+")")
 	)
 	flag.Parse()
 
-	w := bench.Workload{N: *n, M: *m, Seed: *seed}.WithDefaults()
+	w := bench.Workload{N: *n, M: *m, Seed: *seed, Dist: *distName, Clusters: *clusters}.WithDefaults()
+	if err := w.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "pbench:", err)
+		os.Exit(2)
+	}
 	workers, err := parseWorkers(*workersCSV)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pbench:", err)
@@ -77,7 +88,7 @@ func main() {
 			"leafcap", "indexfactor", "batchsize"}
 	}
 	for _, name := range names {
-		fmt.Printf("== %s (n=%d m=%d seed=%#x) ==\n", name, w.N, w.M, w.Seed)
+		fmt.Printf("== %s (n=%d m=%d seed=%#x dist=%s) ==\n", name, w.N, w.M, w.Seed, w.DistName())
 		if err := run(name); err != nil {
 			fmt.Fprintln(os.Stderr, "pbench:", err)
 			os.Exit(1)

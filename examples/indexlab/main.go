@@ -2,7 +2,9 @@
 // §3.2 — the ID-array interpolation index with linear refinement
 // (Find), exponential (galloping) refinement, a learned linear-model
 // index (the §3.2 nod to Kraska et al.), on-the-fly interpolation, and
-// plain binary search — on a smooth and a clustered array.
+// plain binary search — on a smooth array, a clustered array, and an
+// adversarial exponentially spaced array built to defeat
+// interpolation (its keys are maximally far from linear).
 //
 //	go run ./examples/indexlab
 package main
@@ -24,12 +26,17 @@ func main() {
 	r := dist.NewRNG(1234)
 	smooth := dist.UniformSet(r, arraySize, 0, 1<<40)
 	clustered := dist.Clustered(r, arraySize, 256, 0, 1<<40)
+	adversarial := dist.ExpSpaced(r, arraySize, 0, 1<<40)
 	probes := dist.UniformSet(r, numProbes, 0, 1<<40)
 
 	for _, data := range []struct {
 		name string
 		rep  []int64
-	}{{"smooth (uniform)", smooth}, {"clustered (non-smooth)", clustered}} {
+	}{
+		{"smooth (uniform)", smooth},
+		{"clustered (non-smooth)", clustered},
+		{"adversarial (exp-spaced)", adversarial},
+	} {
 		rep := data.rep
 		ix := iindex.Build(rep, 0)
 		lm := iindex.BuildLinear(rep)

@@ -15,8 +15,10 @@ type TraverseRow struct {
 	RankMS          float64
 }
 
-// RunAblationTraverse compares the two traversal modes on uniform
-// (smooth) and clustered (non-smooth) batches.
+// RunAblationTraverse compares the two traversal modes across the
+// batch distributions: smooth (uniform), the paper's non-smooth
+// clustered input, Zipf-skewed, and the adversarial exponentially
+// spaced set built to defeat interpolation.
 func RunAblationTraverse(w Workload, workers, reps int) []TraverseRow {
 	w = w.WithDefaults()
 	base := w.BaseKeys()
@@ -29,15 +31,13 @@ func RunAblationTraverse(w Workload, workers, reps int) []TraverseRow {
 			return func() { tree.ContainsBatched(batch) }
 		})
 	}
-	rows := make([]TraverseRow, 0, 2)
-	for _, d := range []struct {
-		name     string
-		clusters int
-	}{{"uniform", 0}, {"clustered", 64}} {
+	dists := []string{"uniform", "clustered", "zipf", "expspaced"}
+	rows := make([]TraverseRow, 0, len(dists))
+	for _, name := range dists {
 		wl := w
-		wl.Clusters = d.clusters
+		wl.Dist = name // "clustered" uses dist.DefaultClusters
 		rows = append(rows, TraverseRow{
-			Distribution:    d.name,
+			Distribution:    name,
 			InterpolationMS: run(core.Config{Traverse: core.TraverseInterpolation}, wl),
 			RankMS:          run(core.Config{Traverse: core.TraverseRank}, wl),
 		})

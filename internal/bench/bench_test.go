@@ -57,6 +57,53 @@ func TestWorkloadClusteredBatch(t *testing.T) {
 	if len(b) != w.M || !slices.IsSorted(b) {
 		t.Fatal("clustered batch malformed")
 	}
+	if w.DistName() != "clustered" {
+		t.Fatalf("Clusters > 0 must select clustered, got %q", w.DistName())
+	}
+}
+
+func TestWorkloadDistSelector(t *testing.T) {
+	lo, hi := tiny().Range()
+	for _, name := range []string{"uniform", "clustered", "zipf", "runs", "expspaced"} {
+		w := tiny()
+		w.Dist = name
+		if err := w.Validate(); err != nil {
+			t.Fatalf("Validate(%s): %v", name, err)
+		}
+		b := w.Batch(0)
+		if len(b) != w.M || !slices.IsSorted(b) {
+			t.Fatalf("dist %s: batch has %d keys (want %d), sorted=%v",
+				name, len(b), w.M, slices.IsSorted(b))
+		}
+		if b[0] < lo || b[len(b)-1] > hi {
+			t.Fatalf("dist %s: batch outside [%d,%d]", name, lo, hi)
+		}
+	}
+	w := tiny()
+	w.Dist = "bogus"
+	if err := w.Validate(); err == nil {
+		t.Fatal("unknown distribution must fail Validate")
+	}
+	// halfdense is density-driven and cannot honor the exactly-M
+	// batch contract, so it must be rejected as a batch distribution.
+	w.Dist = "halfdense"
+	if err := w.Validate(); err == nil {
+		t.Fatal("halfdense must fail Validate")
+	}
+	// A batch larger than the key range cannot hold M distinct keys.
+	w = Workload{N: 100, M: 1000, Seed: 1}
+	if err := w.Validate(); err == nil {
+		t.Fatal("m > range size must fail Validate")
+	}
+}
+
+func TestWorkloadDistsDiffer(t *testing.T) {
+	uni, zipf, exp := tiny(), tiny(), tiny()
+	zipf.Dist = "zipf"
+	exp.Dist = "expspaced"
+	if slices.Equal(uni.Batch(0), zipf.Batch(0)) || slices.Equal(uni.Batch(0), exp.Batch(0)) {
+		t.Fatal("distribution selector has no effect on batches")
+	}
 }
 
 func TestRunFig17Shape(t *testing.T) {
@@ -95,12 +142,17 @@ func TestRunSeqCompareShape(t *testing.T) {
 
 func TestRunAblationTraverseShape(t *testing.T) {
 	rows := RunAblationTraverse(tiny(), 2, 1)
-	if len(rows) != 2 {
+	if len(rows) != 4 {
 		t.Fatalf("got %d rows", len(rows))
 	}
-	names := []string{rows[0].Distribution, rows[1].Distribution}
-	if !slices.Contains(names, "uniform") || !slices.Contains(names, "clustered") {
-		t.Fatalf("distributions = %v", names)
+	names := make([]string, 0, len(rows))
+	for _, r := range rows {
+		names = append(names, r.Distribution)
+	}
+	for _, want := range []string{"uniform", "clustered", "zipf", "expspaced"} {
+		if !slices.Contains(names, want) {
+			t.Fatalf("distributions = %v, missing %q", names, want)
+		}
 	}
 	for _, r := range rows {
 		if r.InterpolationMS <= 0 || r.RankMS <= 0 {

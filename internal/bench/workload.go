@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/dist"
@@ -26,6 +27,14 @@ type Workload struct {
 	// Clusters > 0 draws batches from a non-smooth clustered
 	// distribution instead of uniform (ablation A3).
 	Clusters int
+	// Dist selects the batch distribution by name: uniform,
+	// clustered, zipf, runs, or expspaced. Empty means uniform, or
+	// clustered when Clusters > 0, so existing configurations keep
+	// their meaning. When Dist is "clustered" and Clusters > 0,
+	// Clusters overrides the default cluster count. (halfdense is an
+	// initialization shape, not a batch distribution: it is
+	// density-driven and would break the exactly-M-keys contract.)
+	Dist string
 }
 
 // WithDefaults fills in the container-scale defaults documented in
@@ -56,15 +65,53 @@ func (w Workload) BaseKeys() []int64 {
 	return dist.HalfDense(dist.NewRNG(w.Seed), lo, hi, 0.5)
 }
 
+// DistName resolves the effective batch distribution: Dist when set,
+// otherwise clustered/uniform according to the legacy Clusters knob.
+func (w Workload) DistName() string {
+	if w.Dist != "" {
+		return w.Dist
+	}
+	if w.Clusters > 0 {
+		return "clustered"
+	}
+	return "uniform"
+}
+
+// Validate reports whether the workload's distribution selector names
+// a usable batch generator; commands call it before spending time on
+// setup. halfdense is rejected: its output size is density-driven,
+// so batches would not hold exactly M keys and timing rows would
+// compare unequal batch sizes across distributions.
+func (w Workload) Validate() error {
+	name := w.DistName()
+	if name == "halfdense" {
+		return fmt.Errorf("workload: halfdense is the tree-initialization shape, not a batch distribution (batches must have exactly M keys)")
+	}
+	_, err := dist.Generate(name, dist.NewRNG(1), 0, 0, 1)
+	if err != nil {
+		return fmt.Errorf("workload: %w", err)
+	}
+	if lo, hi := w.Range(); uint64(w.M) > uint64(hi)-uint64(lo)+1 {
+		return fmt.Errorf("workload: batch size m=%d exceeds the %d distinct keys of [%d,%d] (raise -n or lower -m)",
+			w.M, uint64(hi)-uint64(lo)+1, lo, hi)
+	}
+	return nil
+}
+
 // Batch generates the idx-th operation batch: M distinct keys from the
-// range, uniform by default, clustered when configured.
+// range, drawn from the configured distribution (uniform by default).
 func (w Workload) Batch(idx int) []int64 {
 	lo, hi := w.Range()
 	r := dist.NewRNG(w.Seed ^ (0xb47c4 + uint64(idx)*0x9e37))
-	if w.Clusters > 0 {
+	name := w.DistName()
+	if name == "clustered" && w.Clusters > 0 {
 		return dist.Clustered(r, w.M, w.Clusters, lo, hi)
 	}
-	return dist.UniformSet(r, w.M, lo, hi)
+	keys, err := dist.Generate(name, r, w.M, lo, hi)
+	if err != nil {
+		panic(err) // Validate gates this in the commands
+	}
+	return keys
 }
 
 // timeMS runs f once and returns the elapsed wall time in

@@ -1,0 +1,38 @@
+package dist
+
+import "testing"
+
+const (
+	benchN  = 1 << 20
+	benchHi = int64(1) << 40
+)
+
+func benchGen(b *testing.B, gen func(r *RNG) []int64) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		keys := gen(NewRNG(uint64(i)))
+		if len(keys) == 0 {
+			b.Fatal("empty output")
+		}
+	}
+}
+
+func BenchmarkUniformSet(b *testing.B) {
+	benchGen(b, func(r *RNG) []int64 { return UniformSet(r, benchN, 0, benchHi) })
+}
+
+func BenchmarkClustered(b *testing.B) {
+	benchGen(b, func(r *RNG) []int64 { return Clustered(r, benchN, DefaultClusters, 0, benchHi) })
+}
+
+func BenchmarkZipfSet(b *testing.B) {
+	benchGen(b, func(r *RNG) []int64 { return ZipfSet(r, benchN, DefaultZipfTheta, 0, benchHi) })
+}
+
+func BenchmarkExpSpaced(b *testing.B) {
+	benchGen(b, func(r *RNG) []int64 { return ExpSpaced(r, benchN, 0, benchHi) })
+}
+
+func BenchmarkHalfDense(b *testing.B) {
+	benchGen(b, func(r *RNG) []int64 { return HalfDense(r, 0, 2*int64(benchN), 0.5) })
+}

@@ -1,0 +1,272 @@
+package dist
+
+import (
+	"slices"
+	"testing"
+)
+
+// gens enumerates every exact-n generator under a fixed shape, so the
+// contract tests run over all of them.
+var gens = []struct {
+	name string
+	gen  func(r *RNG, n int, lo, hi int64) []int64
+}{
+	{"UniformSet", func(r *RNG, n int, lo, hi int64) []int64 { return UniformSet(r, n, lo, hi) }},
+	{"Clustered", func(r *RNG, n int, lo, hi int64) []int64 { return Clustered(r, n, 8, lo, hi) }},
+	{"ZipfSet", func(r *RNG, n int, lo, hi int64) []int64 { return ZipfSet(r, n, 0.8, lo, hi) }},
+	{"Runs", func(r *RNG, n int, lo, hi int64) []int64 { return Runs(r, n, 8, lo, hi) }},
+	{"ExpSpaced", func(r *RNG, n int, lo, hi int64) []int64 { return ExpSpaced(r, n, lo, hi) }},
+}
+
+// checkSetInvariants asserts the shared generator contract: exactly n
+// keys, sorted ascending, duplicate-free, all within [lo, hi].
+func checkSetInvariants(t *testing.T, name string, keys []int64, n int, lo, hi int64) {
+	t.Helper()
+	if len(keys) != n {
+		t.Fatalf("%s returned %d keys, want %d", name, len(keys), n)
+	}
+	for i, k := range keys {
+		if k < lo || k > hi {
+			t.Fatalf("%s key %d out of [%d,%d]", name, k, lo, hi)
+		}
+		if i > 0 && keys[i-1] >= k {
+			t.Fatalf("%s not strictly increasing at %d: %d, %d", name, i, keys[i-1], k)
+		}
+	}
+}
+
+func TestGeneratorsContract(t *testing.T) {
+	const n = 50_000
+	lo, hi := int64(-1_000_000), int64(1_000_000)
+	for _, g := range gens {
+		keys := g.gen(NewRNG(123), n, lo, hi)
+		checkSetInvariants(t, g.name, keys, n, lo, hi)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	const n = 50_000
+	lo, hi := int64(0), int64(1<<40)
+	for _, g := range gens {
+		a := g.gen(NewRNG(7), n, lo, hi)
+		b := g.gen(NewRNG(7), n, lo, hi)
+		if !slices.Equal(a, b) {
+			t.Fatalf("%s: same seed produced different slices", g.name)
+		}
+		c := g.gen(NewRNG(8), n, lo, hi)
+		if slices.Equal(a, c) {
+			t.Fatalf("%s: different seeds produced identical slices", g.name)
+		}
+	}
+}
+
+func TestGeneratorsSmallAndEmpty(t *testing.T) {
+	for _, g := range gens {
+		if got := g.gen(NewRNG(1), 0, 0, 100); len(got) != 0 {
+			t.Fatalf("%s(n=0) returned %d keys", g.name, len(got))
+		}
+		keys := g.gen(NewRNG(1), 1, 5, 5)
+		checkSetInvariants(t, g.name, keys, 1, 5, 5)
+	}
+}
+
+func TestGeneratorsNearlyFullRange(t *testing.T) {
+	// n equal to the range size forces every generator through its
+	// feasibility fallbacks: the result must be the whole range.
+	lo, hi := int64(-50), int64(49)
+	for _, g := range gens {
+		keys := g.gen(NewRNG(3), 100, lo, hi)
+		checkSetInvariants(t, g.name, keys, 100, lo, hi)
+	}
+}
+
+func TestUniformSetCoversRange(t *testing.T) {
+	keys := UniformSet(NewRNG(5), 10_000, 0, 1<<30)
+	// A uniform draw should put roughly a quarter of the keys in each
+	// quarter of the range.
+	quarter := int64(1 << 28)
+	counts := [4]int{}
+	for _, k := range keys {
+		counts[min(int(k/quarter), 3)]++
+	}
+	for q, c := range counts {
+		if c < 1500 || c > 3500 {
+			t.Fatalf("quarter %d holds %d/10000 keys; not uniform: %v", q, c, counts)
+		}
+	}
+}
+
+func TestHalfDenseDensity(t *testing.T) {
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		lo, hi := int64(-100_000), int64(100_000)
+		keys := HalfDense(NewRNG(21), lo, hi, p)
+		span := float64(hi - lo + 1)
+		got := float64(len(keys)) / span
+		if got < p-0.02 || got > p+0.02 {
+			t.Fatalf("density %v, want %v ± 0.02", got, p)
+		}
+		if !slices.IsSorted(keys) {
+			t.Fatal("HalfDense output not sorted")
+		}
+		for i := 1; i < len(keys); i++ {
+			if keys[i] == keys[i-1] {
+				t.Fatal("HalfDense emitted a duplicate")
+			}
+		}
+		if len(keys) > 0 && (keys[0] < lo || keys[len(keys)-1] > hi) {
+			t.Fatal("HalfDense out of bounds")
+		}
+	}
+}
+
+func TestHalfDenseDeterministicAcrossBlocks(t *testing.T) {
+	// Range wider than several blocks: the per-block streams must
+	// reproduce regardless of scheduling.
+	lo, hi := int64(0), int64(5*blockSize+37)
+	a := HalfDense(NewRNG(4), lo, hi, 0.5)
+	b := HalfDense(NewRNG(4), lo, hi, 0.5)
+	if !slices.Equal(a, b) {
+		t.Fatal("HalfDense not deterministic")
+	}
+	if len(HalfDense(NewRNG(4), lo, hi, 0)) != 0 {
+		t.Fatal("HalfDense(p=0) must be empty")
+	}
+	if got := HalfDense(NewRNG(4), lo, hi, 1); int64(len(got)) != hi-lo+1 {
+		t.Fatalf("HalfDense(p=1) returned %d of %d keys", len(got), hi-lo+1)
+	}
+}
+
+// TestClusteredGapStructure checks the defining property of the
+// non-smooth clustered input: at most `clusters` gaps wider than a
+// threshold, with the bulk of the keys tightly packed.
+func TestClusteredGapStructure(t *testing.T) {
+	const (
+		n        = 10_000
+		clusters = 16
+	)
+	lo, hi := int64(0), int64(1<<30)
+	keys := Clustered(NewRNG(77), n, clusters, lo, hi)
+	checkSetInvariants(t, "Clustered", keys, n, lo, hi)
+
+	// Inside a window keys sit ~4 apart; between windows the expected
+	// gap is ~2^30/16. Any gap above 1e6 must be a cluster boundary.
+	wide := 0
+	for i := 1; i < len(keys); i++ {
+		if keys[i]-keys[i-1] > 1_000_000 {
+			wide++
+		}
+	}
+	if wide >= clusters {
+		t.Fatalf("%d wide gaps, want < %d (clusters not tight)", wide, clusters)
+	}
+	if wide < clusters/2 {
+		t.Fatalf("only %d wide gaps for %d clusters (clusters not separated)", wide, clusters)
+	}
+}
+
+func TestZipfSetSkew(t *testing.T) {
+	const n = 20_000
+	lo, hi := int64(0), int64(1<<30)
+	keys := ZipfSet(NewRNG(13), n, 0.8, lo, hi)
+	head := 0
+	for _, k := range keys {
+		if k < (hi+1)/16 {
+			head++
+		}
+	}
+	// theta=0.8: the lowest 1/16 of the range should hold
+	// (1/16)^0.2 ≈ 57% of the keys; uniform would put 6% there.
+	if head < n/3 {
+		t.Fatalf("only %d/%d keys in the hot head; not skewed", head, n)
+	}
+	uni := UniformSet(NewRNG(13), n, lo, hi)
+	uhead := 0
+	for _, k := range uni {
+		if k < (hi+1)/16 {
+			uhead++
+		}
+	}
+	if head < 4*uhead {
+		t.Fatalf("zipf head %d not clearly denser than uniform head %d", head, uhead)
+	}
+}
+
+func TestRunsAreDense(t *testing.T) {
+	const (
+		n    = 10_000
+		runs = 8
+	)
+	keys := Runs(NewRNG(31), n, runs, 0, 1<<30)
+	breaks := 0
+	for i := 1; i < len(keys); i++ {
+		if keys[i] != keys[i-1]+1 {
+			breaks++
+		}
+	}
+	if breaks != runs-1 {
+		t.Fatalf("%d breaks in consecutive structure, want %d", breaks, runs-1)
+	}
+}
+
+// TestExpSpacedGapsGrow checks the adversarial shape: gaps grow by
+// orders of magnitude from head to tail, so a linear interpolation is
+// maximally misled.
+func TestExpSpacedGapsGrow(t *testing.T) {
+	const n = 1000
+	keys := ExpSpaced(NewRNG(17), n, 0, 1<<40)
+	firstGap := keys[n/10] - keys[0]
+	lastGap := keys[n-1] - keys[n-1-n/10]
+	if lastGap < 1000*firstGap {
+		t.Fatalf("tail decile span %d not ≫ head decile span %d", lastGap, firstGap)
+	}
+	if keys[n-1] != 1<<40 {
+		t.Fatalf("last key %d, want the range top", keys[n-1])
+	}
+}
+
+func TestGenerateRegistry(t *testing.T) {
+	names := Names()
+	if len(names) < 5 {
+		t.Fatalf("only %d registered distributions: %v", len(names), names)
+	}
+	for _, name := range names {
+		keys, err := Generate(name, NewRNG(2), 5000, 0, 1<<24)
+		if err != nil {
+			t.Fatalf("Generate(%s): %v", name, err)
+		}
+		if len(keys) == 0 || !slices.IsSorted(keys) {
+			t.Fatalf("Generate(%s) returned %d keys, sorted=%v", name, len(keys), slices.IsSorted(keys))
+		}
+		if name != "halfdense" && len(keys) != 5000 {
+			t.Fatalf("Generate(%s) returned %d keys, want 5000", name, len(keys))
+		}
+	}
+	if _, err := Generate("nope", NewRNG(2), 10, 0, 100); err == nil {
+		t.Fatal("unknown distribution must error")
+	}
+	if Describe() == "" {
+		t.Fatal("Describe must list the distributions")
+	}
+}
+
+func TestCheckSetPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		f    func()
+	}{
+		{"n>span", func() { UniformSet(NewRNG(1), 20, 0, 9) }},
+		{"hi<lo", func() { UniformSet(NewRNG(1), 1, 10, 0) }},
+		{"negative n", func() { UniformSet(NewRNG(1), -1, 0, 10) }},
+		{"bad theta", func() { ZipfSet(NewRNG(1), 10, 1.5, 0, 100) }},
+		{"bad density", func() { HalfDense(NewRNG(1), 0, 10, 1.5) }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic", tc.name)
+				}
+			}()
+			tc.f()
+		}()
+	}
+}

@@ -1,0 +1,92 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Default shape parameters used when a distribution is selected by
+// name (the -dist flags and bench.Workload.Dist), chosen to match the
+// scales of the paper's evaluation: 64 clusters reproduces ablation
+// A3, theta = 0.8 is the customary Zipf skew of the related IST
+// evaluations, 32 runs keeps runs long enough to span many leaves.
+const (
+	DefaultClusters  = 64
+	DefaultZipfTheta = 0.8
+	DefaultRuns      = 32
+)
+
+// generators maps selectable names to generators with default shape
+// parameters. Each entry notes the experiment it serves.
+var generators = map[string]struct {
+	doc string
+	gen func(r *RNG, n int, lo, hi int64) []int64
+}{
+	"uniform": {
+		"smooth i.i.d. keys (§9 batches; interpolation's best case)",
+		func(r *RNG, n int, lo, hi int64) []int64 { return UniformSet(r, n, lo, hi) },
+	},
+	"clustered": {
+		fmt.Sprintf("%d tight clusters (§9 non-smooth batches, ablation A3)", DefaultClusters),
+		func(r *RNG, n int, lo, hi int64) []int64 { return Clustered(r, n, DefaultClusters, lo, hi) },
+	},
+	"zipf": {
+		fmt.Sprintf("power-law skew toward lo, theta=%.2f (hot-key head)", DefaultZipfTheta),
+		func(r *RNG, n int, lo, hi int64) []int64 { return ZipfSet(r, n, DefaultZipfTheta, lo, hi) },
+	},
+	"runs": {
+		fmt.Sprintf("%d dense sequential runs (time-ordered ingest)", DefaultRuns),
+		func(r *RNG, n int, lo, hi int64) []int64 { return Runs(r, n, DefaultRuns, lo, hi) },
+	},
+	"expspaced": {
+		"exponentially spaced keys (adversarial anti-interpolation input)",
+		func(r *RNG, n int, lo, hi int64) []int64 { return ExpSpaced(r, n, lo, hi) },
+	},
+	"halfdense": {
+		"every key with probability n/span (§9 tree initialization shape)",
+		func(r *RNG, n int, lo, hi int64) []int64 {
+			span := spanOf(lo, hi)
+			p := 1.0
+			if span != 0 {
+				p = float64(n) / float64(span)
+			}
+			if p > 1 {
+				p = 1
+			}
+			return HalfDense(r, lo, hi, p)
+		},
+	},
+}
+
+// Names returns the selectable distribution names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(generators))
+	for name := range generators {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Describe returns a one-line description per name, aligned for
+// -help output.
+func Describe() string {
+	var b strings.Builder
+	for _, name := range Names() {
+		fmt.Fprintf(&b, "  %-10s %s\n", name, generators[name].doc)
+	}
+	return b.String()
+}
+
+// Generate draws about n keys (exactly n for all but halfdense, which
+// is density-driven) from the named distribution over [lo, hi]. It is
+// the programmatic face of the -dist command line flags.
+func Generate(name string, r *RNG, n int, lo, hi int64) ([]int64, error) {
+	g, ok := generators[name]
+	if !ok {
+		return nil, fmt.Errorf("dist: unknown distribution %q (have %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return g.gen(r, n, lo, hi), nil
+}

@@ -1,0 +1,117 @@
+// Package dist generates the synthetic workloads of the paper's
+// evaluation (§9) and of the ablations in DESIGN.md: sorted,
+// duplicate-free key sets drawn from smooth and non-smooth
+// distributions. Interpolation search is O(m·log log n) only on smooth
+// inputs, so the distribution is the central experimental axis; this
+// package is the one place that axis is defined.
+//
+// Every generator takes an explicit *RNG — there is no global state —
+// and is deterministic: the same seed yields the same slice, bit for
+// bit, regardless of GOMAXPROCS. Large outputs are produced in fixed
+// shards via internal/parallel, so the generators double as a workout
+// for the repository's own fork-join primitives.
+package dist
+
+import "math/bits"
+
+// RNG is a small, fast, seedable random number generator
+// (xoshiro256++, state initialized by splitmix64). It is not safe for
+// concurrent use; parallel generators give each shard its own stream
+// via Fork.
+type RNG struct {
+	s [4]uint64
+}
+
+// splitmix64 is the stateless mixer recommended by the xoshiro authors
+// for seeding: it turns any 64-bit value, including 0, into a
+// well-distributed one.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// NewRNG returns a generator seeded from seed. Any seed is valid,
+// including 0.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	for i := range r.s {
+		seed = splitmix64(seed)
+		r.s[i] = seed
+	}
+	return r
+}
+
+// Fork derives an independent stream from r. Consuming one value of
+// r's own stream keeps derivation deterministic: forking k shards in a
+// loop always produces the same k streams.
+func (r *RNG) Fork() *RNG {
+	return NewRNG(r.Uint64())
+}
+
+func rotl(x uint64, k uint) uint64 {
+	return (x << k) | (x >> (64 - k))
+}
+
+// Uint64 returns the next value of the stream (xoshiro256++).
+func (r *RNG) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[0]+s[3], 23) + s[0]
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Uint64n returns a uniform value in [0, n) using Lemire's
+// multiply-shift rejection method. n must be > 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("dist: Uint64n(0)")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	thresh := -n % n
+	for {
+		hi, lo := bits.Mul64(r.Uint64(), n)
+		if lo >= thresh {
+			return hi
+		}
+	}
+}
+
+// Int63n returns a uniform value in [0, n). n must be > 0.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("dist: Int63n with non-positive bound")
+	}
+	return int64(r.Uint64n(uint64(n)))
+}
+
+// InRange returns a uniform key in [lo, hi]. The arithmetic is done in
+// uint64 so the full int64 key space is safe from overflow.
+func (r *RNG) InRange(lo, hi int64) int64 {
+	if hi < lo {
+		panic("dist: InRange with hi < lo")
+	}
+	return int64(uint64(lo) + r.Uint64n(spanOf(lo, hi)))
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 random bits.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// spanOf returns hi-lo+1 as a uint64, exact for every lo <= hi except
+// the full int64 range (which no workload uses; it reports 0 there and
+// the bounded draws reject it).
+func spanOf(lo, hi int64) uint64 {
+	return uint64(hi) - uint64(lo) + 1
+}

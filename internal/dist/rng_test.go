@@ -1,0 +1,97 @@
+package dist
+
+import "testing"
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverge at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d/100 identical draws from different seeds", same)
+	}
+}
+
+func TestRNGZeroSeedNotStuck(t *testing.T) {
+	r := NewRNG(0)
+	zero := 0
+	for i := 0; i < 100; i++ {
+		if r.Uint64() == 0 {
+			zero++
+		}
+	}
+	if zero > 1 {
+		t.Fatalf("zero seed produced %d/100 zero draws", zero)
+	}
+}
+
+func TestForkIndependentAndDeterministic(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	fa, fb := a.Fork(), b.Fork()
+	for i := 0; i < 100; i++ {
+		if fa.Uint64() != fb.Uint64() {
+			t.Fatal("forks of identical parents diverge")
+		}
+	}
+	if a.Fork().Uint64() == fa.Uint64() {
+		t.Fatal("successive forks share a stream")
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	r := NewRNG(3)
+	for _, n := range []uint64{1, 2, 3, 7, 100, 1 << 40} {
+		for i := 0; i < 200; i++ {
+			if v := r.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d", n, v)
+			}
+		}
+	}
+}
+
+func TestInRangeFullBounds(t *testing.T) {
+	r := NewRNG(9)
+	lo, hi := int64(-5), int64(5)
+	seen := map[int64]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.InRange(lo, hi)
+		if v < lo || v > hi {
+			t.Fatalf("InRange out of bounds: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != int(hi-lo+1) {
+		t.Fatalf("1000 draws over 11 values hit only %d", len(seen))
+	}
+	// Negative-heavy ranges must not overflow.
+	if v := r.InRange(-1<<62, 1<<62); v < -1<<62 {
+		t.Fatalf("wide range draw overflowed: %d", v)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(11)
+	sum := 0.0
+	for i := 0; i < 10_000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+		sum += f
+	}
+	if mean := sum / 10_000; mean < 0.45 || mean > 0.55 {
+		t.Fatalf("Float64 mean %v far from 0.5", mean)
+	}
+}

@@ -1,0 +1,186 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// Clustered returns exactly n distinct sorted keys packed into
+// `clusters` tight groups spread over [lo, hi]. This is the paper's
+// non-smooth batch distribution (§9, ablation A3): within a cluster
+// keys are dense, between clusters the range is empty, which breaks
+// the smoothness assumption behind the O(m·log log n) traversal bound.
+//
+// The range is split into `clusters` equal segments; each segment
+// holds one window (width ≈ 4× its share of keys, placed at a random
+// offset) filled with a uniform distinct draw. Windows never overlap,
+// so the concatenation is globally sorted and duplicate-free.
+func Clustered(r *RNG, n, clusters int, lo, hi int64) []int64 {
+	checkSet("Clustered", n, lo, hi)
+	if n == 0 {
+		return []int64{}
+	}
+	if clusters < 1 {
+		clusters = 1
+	}
+	if clusters > n {
+		clusters = n
+	}
+	span := spanOf(lo, hi)
+	if uint64(clusters) > span {
+		clusters = int(span)
+	}
+	// Every segment must fit its key share; for nearly-full ranges
+	// fewer, larger clusters are the only feasible layout.
+	for clusters > 1 && uint64(n/clusters+1) > span/uint64(clusters) {
+		clusters /= 2
+	}
+	segW := span / uint64(clusters)
+
+	out := make([]int64, 0, n)
+	for i := 0; i < clusters; i++ {
+		per := n / clusters
+		if i < n%clusters {
+			per++
+		}
+		segLo := int64(uint64(lo) + uint64(i)*segW)
+		segSpan := segW
+		if i == clusters-1 { // last segment absorbs the rounding remainder
+			segSpan = span - uint64(clusters-1)*segW
+		}
+		w := uint64(4 * per)
+		if w < 16 {
+			w = 16
+		}
+		if w > segSpan {
+			w = segSpan
+		}
+		off := r.Uint64n(segSpan - w + 1)
+		wlo := segLo + int64(off)
+		whi := wlo + int64(w) - 1
+		rr := r.Fork()
+		out = append(out, distinctSet(rr, per, wlo, whi,
+			func(rr *RNG) int64 { return rr.InRange(wlo, whi) })...)
+	}
+	return out
+}
+
+// ZipfSet returns exactly n distinct sorted keys with power-law skew
+// toward lo: a fraction q^(1-theta) of the keys falls in the lowest
+// fraction q of the range. theta = 0 degenerates to uniform; theta
+// close to 1 concentrates almost everything near lo. This models the
+// hot-key traffic of the Zipf workloads in the non-blocking IST and
+// parallel-search-tree evaluations (see PAPERS.md): smooth globally,
+// but with a dense head that stresses per-node fanout.
+func ZipfSet(r *RNG, n int, theta float64, lo, hi int64) []int64 {
+	checkSet("ZipfSet", n, lo, hi)
+	if theta < 0 || theta >= 1 {
+		panic(fmt.Sprintf("dist: ZipfSet with theta %v outside [0,1)", theta))
+	}
+	span := float64(spanOf(lo, hi))
+	e := 1 / (1 - theta)
+	return distinctSet(r, n, lo, hi, func(rr *RNG) int64 {
+		pos := uint64(math.Pow(rr.Float64(), e) * span)
+		k := int64(uint64(lo) + pos)
+		if k > hi { // Float64 can be arbitrarily close to 1
+			k = hi
+		}
+		return k
+	})
+}
+
+// Runs returns exactly n distinct sorted keys arranged as `runs`
+// blocks of consecutive integers at random positions. Fully dense
+// runs are the best case for the leaf representation and the worst
+// case for per-key update work, and model time-ordered ingest (IDs
+// handed out sequentially with occasional re-basing).
+func Runs(r *RNG, n, runs int, lo, hi int64) []int64 {
+	checkSet("Runs", n, lo, hi)
+	if n == 0 {
+		return []int64{}
+	}
+	if runs < 1 {
+		runs = 1
+	}
+	if runs > n {
+		runs = n
+	}
+	span := spanOf(lo, hi)
+	if uint64(runs) > span {
+		runs = int(span)
+	}
+	for runs > 1 && uint64(n/runs+1) > span/uint64(runs) {
+		runs /= 2
+	}
+	segW := span / uint64(runs)
+
+	out := make([]int64, 0, n)
+	for i := 0; i < runs; i++ {
+		per := n / runs
+		if i < n%runs {
+			per++
+		}
+		segLo := int64(uint64(lo) + uint64(i)*segW)
+		segSpan := segW
+		if i == runs-1 {
+			segSpan = span - uint64(runs-1)*segW
+		}
+		start := segLo + int64(r.Uint64n(segSpan-uint64(per)+1))
+		for k := 0; k < per; k++ {
+			out = append(out, start+int64(k))
+		}
+	}
+	return out
+}
+
+// ExpSpaced returns exactly n distinct sorted keys at (jittered)
+// exponentially growing gaps: key i sits near lo + span^((i+1)/n).
+// This is the adversarial non-smooth input for interpolation search —
+// a linear interpolation over such keys lands maximally far from the
+// target, degrading the traversal toward its O(log n) fallback — and
+// serves the "designed to defeat interpolation" ablation.
+func ExpSpaced(r *RNG, n int, lo, hi int64) []int64 {
+	checkSet("ExpSpaced", n, lo, hi)
+	if n == 0 {
+		return []int64{}
+	}
+	span := spanOf(lo, hi)
+	spanF := float64(span)
+	// pos values live in [1, span]; key = lo + pos - 1.
+	pos := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		e := (float64(i+1) + 0.25*(r.Float64()-0.5)) / float64(n)
+		if i == n-1 {
+			e = 1
+		}
+		p := uint64(math.Pow(spanF, e))
+		if p < 1 {
+			p = 1
+		}
+		if p > span {
+			p = span
+		}
+		pos[i] = p
+	}
+	// Two clamp passes make the sequence strictly increasing while
+	// staying in [1, span]; both bounds are feasible because checkSet
+	// guaranteed span >= n. First cap each position low enough that
+	// the keys after it still fit below span...
+	pos[n-1] = span
+	for i := 0; i < n-1; i++ {
+		if limit := span - uint64(n-1-i); pos[i] > limit {
+			pos[i] = limit
+		}
+	}
+	// ...then push each position just above its predecessor.
+	var prev uint64
+	out := make([]int64, n)
+	for i, p := range pos {
+		if p <= prev {
+			p = prev + 1
+		}
+		prev = p
+		out[i] = int64(uint64(lo) + p - 1)
+	}
+	return out
+}
