@@ -25,6 +25,7 @@ import (
 	"repro/internal/rbtree"
 	"repro/internal/skiplist"
 	"repro/internal/treap"
+	"repro/pbist"
 )
 
 // benchWorkload is the shared workload of all root benchmarks: tree of
@@ -300,6 +301,48 @@ func BenchmarkSweepBatchSize(b *testing.B) {
 				tree.ContainsBatched(probe[i%len(probe)])
 			}
 			reportKeysPerSec(b, m)
+		})
+	}
+}
+
+// Map workload: the value-carrying batched operations through the
+// public Map view with 8-byte payloads. PutBatch mixes fresh inserts
+// with value overwrites (batches share the base key range), so both
+// the updateRec and insertRec paths execute; GetBatch exercises the
+// value-fetching traversal. AssumeSorted skips facade normalization:
+// the workload generator emits sorted duplicate-free batches, so the
+// timings measure the batched core, not the sort.
+func BenchmarkMapPutBatch(b *testing.B) {
+	base, bat := fixtures()
+	baseVals := bench.MapPayloads(base)
+	for _, w := range []int{1, 8} {
+		b.Run(workersName(w), func(b *testing.B) {
+			opts := pbist.Options{Workers: w, AssumeSorted: true}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				m := pbist.NewMapFromItems(opts, base, baseVals)
+				batch := bat[i%len(bat)]
+				vals := bench.MapPayloads(batch)
+				b.StartTimer()
+				m.PutBatch(batch, vals)
+			}
+			reportKeysPerSec(b, benchWorkload.M)
+		})
+	}
+}
+
+func BenchmarkMapGetBatch(b *testing.B) {
+	base, bat := fixtures()
+	baseVals := bench.MapPayloads(base)
+	for _, w := range []int{1, 8} {
+		b.Run(workersName(w), func(b *testing.B) {
+			m := pbist.NewMapFromItems(pbist.Options{Workers: w, AssumeSorted: true}, base, baseVals)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.GetBatch(bat[i%len(bat)])
+			}
+			reportKeysPerSec(b, benchWorkload.M)
 		})
 	}
 }

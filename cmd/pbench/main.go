@@ -7,6 +7,7 @@
 //	pbench -experiment fig17 -n 4000000 -m 1000000 -workers 1,2,4,8,16
 //	pbench -experiment fig17 -dist zipf
 //	pbench -experiment fig17 -dist clustered -clusters 128
+//	pbench -experiment map -workers 1,4,8
 //	pbench -experiment seqcmp -reps 5
 //	pbench -experiment traverse
 //	pbench -experiment rebuildc -rounds 6
@@ -29,7 +30,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig17 | seqcmp | traverse | rebuildc | treap | leafcap | indexfactor | batchsize | all")
+		experiment = flag.String("experiment", "all", "fig17 | map | seqcmp | traverse | rebuildc | treap | leafcap | indexfactor | batchsize | all")
 		n          = flag.Int("n", 4_000_000, "target tree size (paper: 1e8)")
 		m          = flag.Int("m", 1_000_000, "batch size (paper: 1e7)")
 		seed       = flag.Uint64("seed", 0x5eed, "workload seed")
@@ -63,6 +64,8 @@ func main() {
 		switch name {
 		case "fig17":
 			return runFig17(w, workers, *reps, emit)
+		case "map":
+			return runMap(w, workers, *reps, emit)
 		case "seqcmp":
 			return runSeqCmp(w, *reps, emit)
 		case "traverse":
@@ -84,7 +87,7 @@ func main() {
 
 	names := []string{*experiment}
 	if *experiment == "all" {
-		names = []string{"fig17", "seqcmp", "traverse", "rebuildc", "treap",
+		names = []string{"fig17", "map", "seqcmp", "traverse", "rebuildc", "treap",
 			"leafcap", "indexfactor", "batchsize"}
 	}
 	for _, name := range names {
@@ -108,6 +111,20 @@ func runFig17(w bench.Workload, workers []int, reps int, emit emitter) error {
 			strconv.Itoa(r.Workers),
 			bench.MS(r.ContainsMS), bench.MS(r.InsertMS), bench.MS(r.RemoveMS),
 			bench.X(r.SpeedupC), bench.X(r.SpeedupI), bench.X(r.SpeedupR),
+		})
+	}
+	return emit(os.Stdout, header, cells)
+}
+
+func runMap(w bench.Workload, workers []int, reps int, emit emitter) error {
+	rows := bench.RunMapWorkload(w, workers, reps)
+	header := []string{"workers", "put_ms", "get_ms", "speedup_p", "speedup_g"}
+	cells := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		cells = append(cells, []string{
+			strconv.Itoa(r.Workers),
+			bench.MS(r.PutMS), bench.MS(r.GetMS),
+			bench.X(r.SpeedupP), bench.X(r.SpeedupG),
 		})
 	}
 	return emit(os.Stdout, header, cells)

@@ -48,9 +48,23 @@ func main() {
 	fmt.Printf("intersection |A∩B| = %8d  (%v)\n",
 		len(shared), time.Since(start).Round(time.Millisecond))
 
-	// Sanity: |A∪B| = |A| + |B| − |A∩B|.
+	// Non-mutating difference: the same A \ B as RemoveBatch, but the
+	// tree keeps holding A — one tree answers both queries.
+	start = time.Now()
+	rest := inter.Difference(b)
+	fmt.Printf("difference   |A\\B| = %8d  (non-mutating, %v)\n",
+		len(rest), time.Since(start).Round(time.Millisecond))
+	if len(rest) != diff.Len() {
+		panic("Difference disagrees with RemoveBatch")
+	}
+
+	// Sanity: |A∪B| = |A| + |B| − |A∩B|, and Intersection/Difference
+	// partition A.
 	if union.Len() != len(a)+len(b)-len(shared) {
 		panic("inclusion-exclusion violated")
+	}
+	if len(shared)+len(rest) != inter.Len() {
+		panic("intersection + difference must partition A")
 	}
 	fmt.Println("inclusion-exclusion holds ✓")
 }

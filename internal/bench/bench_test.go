@@ -176,6 +176,37 @@ func TestRunAblationRebuildCShape(t *testing.T) {
 	}
 }
 
+func TestRunMapWorkloadShape(t *testing.T) {
+	rows := RunMapWorkload(tiny(), []int{1, 2}, 1)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	if rows[0].Workers != 1 || rows[1].Workers != 2 {
+		t.Fatal("worker column wrong")
+	}
+	for _, r := range rows {
+		if r.PutMS <= 0 || r.GetMS <= 0 {
+			t.Fatalf("non-positive timing in %+v", r)
+		}
+	}
+	if rows[0].SpeedupP != 1 || rows[0].SpeedupG != 1 {
+		t.Fatal("baseline speedup must be 1")
+	}
+}
+
+func TestMapPayloadsDerivedFromKeys(t *testing.T) {
+	keys := []int64{-3, 0, 7}
+	vals := MapPayloads(keys)
+	for i, k := range keys {
+		if vals[i] != MapPayload(k) {
+			t.Fatalf("payload %d not derived from key %d", i, k)
+		}
+	}
+	if MapPayload(1) == MapPayload(2) {
+		t.Fatal("payloads must distinguish keys")
+	}
+}
+
 func TestRunBaselineTreapShape(t *testing.T) {
 	rows := RunBaselineTreap(tiny(), 2, 1)
 	if len(rows) != 3 {

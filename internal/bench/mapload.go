@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"repro/internal/core"
+	"repro/internal/parallel"
+)
+
+// MapRow is one point of the map workload: the cost of value-carrying
+// batched operations (PutBatched upserts and GetBatched lookups, both
+// with 8-byte payloads) at a given worker count, plus speedup relative
+// to one worker. It is the Fig. 17 experiment re-run through the
+// key-value plumbing, so a regression that only affects the value
+// paths shows up here even when the set curves stay flat.
+type MapRow struct {
+	Workers  int
+	PutMS    float64
+	GetMS    float64
+	SpeedupP float64
+	SpeedupG float64
+}
+
+// MapPayload derives the 8-byte benchmark payload stored under key.
+// Deriving values from keys (rather than storing a constant) keeps the
+// workload honest: a traversal that detaches values from keys would
+// produce observably wrong answers, and the final checksum consumers
+// can recompute it.
+func MapPayload(key int64) uint64 {
+	return uint64(key) * 0x9e3779b97f4a7c15
+}
+
+// MapPayloads builds the payload slice for a batch.
+func MapPayloads(keys []int64) []uint64 {
+	out := make([]uint64, len(keys))
+	for i, k := range keys {
+		out[i] = MapPayload(k)
+	}
+	return out
+}
+
+// RunMapWorkload measures the map-shaped workload: a KV tree is
+// bulk-loaded from the §9 base keys with 8-byte payloads, then each
+// repetition times one PutBatched of M (key, payload) pairs — a mix of
+// fresh inserts and value overwrites, since batches share the base key
+// range — and one GetBatched of M keys, for every requested worker
+// count.
+func RunMapWorkload(w Workload, workers []int, reps int) []MapRow {
+	w = w.WithDefaults()
+	base := w.BaseKeys()
+	baseVals := MapPayloads(base)
+	if reps < 1 {
+		reps = 1
+	}
+	putB := make([][]int64, reps)
+	putV := make([][]uint64, reps)
+	getB := make([][]int64, reps)
+	for rep := 0; rep < reps; rep++ {
+		putB[rep] = w.Batch(2 * rep)
+		putV[rep] = MapPayloads(putB[rep])
+		getB[rep] = w.Batch(2*rep + 1)
+	}
+
+	rows := make([]MapRow, 0, len(workers))
+	for _, nw := range workers {
+		pool := parallel.NewPool(nw)
+		var pms, gms float64
+		for rep := 0; rep < reps; rep++ {
+			tree := core.NewFromSortedKV(core.Config{}, pool, base, baseVals)
+			pms += timeMS(func() { tree.PutBatched(putB[rep], putV[rep]) })
+			gms += timeMS(func() { tree.GetBatched(getB[rep]) })
+		}
+		rows = append(rows, MapRow{
+			Workers: nw,
+			PutMS:   pms / float64(reps),
+			GetMS:   gms / float64(reps),
+		})
+	}
+	if len(rows) > 0 {
+		base := rows[0]
+		for i := range rows {
+			rows[i].SpeedupP = safeRatio(base.PutMS, rows[i].PutMS)
+			rows[i].SpeedupG = safeRatio(base.GetMS, rows[i].GetMS)
+		}
+	}
+	return rows
+}

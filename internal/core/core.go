@@ -1,17 +1,24 @@
 // Package core implements the paper's primary contribution: the
 // Parallel-Batched Interpolation Search Tree (PB-IST).
 //
-// The tree stores a sorted set of numeric keys and executes whole
-// batches of operations at once:
+// The tree stores a sorted collection of numeric keys — each carrying
+// a value of an arbitrary type V — and executes whole batches of
+// operations at once:
 //
 //   - ContainsBatched (§4) answers membership for a sorted batch,
+//   - GetBatched (§4) additionally fetches the stored values,
 //   - InsertBatched (§5) adds a sorted batch (set union),
+//   - PutBatched (§5) upserts a sorted batch of key-value pairs,
 //   - RemoveBatched (§6) deletes a sorted batch (set difference),
 //
 // each in expected O(m·log log n) work for a batch of m keys against a
 // tree of n keys drawn from a smooth distribution, and polylogarithmic
 // span (§8). Balance and space are maintained by amortized parallel
 // subtree rebuilding (§7).
+//
+// The paper evaluates a sorted set; the set is the V = struct{}
+// instantiation of this tree (NewFromSorted builds one), which costs
+// nothing: every value array of an empty struct type is zero bytes.
 //
 // A batch must be sorted and duplicate-free; the public pbist package
 // wraps this contract with optional normalization. A Tree is not safe
@@ -72,9 +79,11 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Tree is a parallel-batched interpolation search tree.
-type Tree[K iindex.Numeric] struct {
-	root *node[K]
+// Tree is a parallel-batched interpolation search tree mapping keys of
+// numeric type K to values of type V. Instantiate with V = struct{}
+// for a plain sorted set.
+type Tree[K iindex.Numeric, V any] struct {
+	root *node[K, V]
 	cfg  Config
 	pool *parallel.Pool
 }
@@ -84,42 +93,59 @@ type Tree[K iindex.Numeric] struct {
 // may be nil (empty key range). Inner Rep arrays are immutable between
 // rebuilds, so their interpolation index stays valid; leaf Rep arrays
 // mutate on insertion and are searched with on-the-fly interpolation.
-type node[K iindex.Numeric] struct {
+// vals runs parallel to rep: vals[i] is the value of key rep[i]
+// (invariant: len(vals) == len(rep)); unlike rep, vals slots of inner
+// nodes may be overwritten between rebuilds (value upserts do not
+// disturb the interpolation index, which depends only on keys).
+type node[K iindex.Numeric, V any] struct {
 	rep      []K
+	vals     []V
 	exists   []bool
-	children []*node[K]
+	children []*node[K, V]
 	idx      iindex.Index
 	size     int // live keys in this subtree
 	initSize int // live keys when this subtree was (re)built
 	modCnt   int // successful updates applied since (re)build
 }
 
-func (v *node[K]) isLeaf() bool { return v.children == nil }
+func (v *node[K, V]) isLeaf() bool { return v.children == nil }
 
 // New returns an empty tree. pool bounds the parallelism of batched
 // operations; a nil pool means sequential execution.
-func New[K iindex.Numeric](cfg Config, pool *parallel.Pool) *Tree[K] {
-	return &Tree[K]{cfg: cfg.withDefaults(), pool: pool}
+func New[K iindex.Numeric, V any](cfg Config, pool *parallel.Pool) *Tree[K, V] {
+	return &Tree[K, V]{cfg: cfg.withDefaults(), pool: pool}
 }
 
-// NewFromSorted bulk-loads a tree from sorted duplicate-free keys in
-// O(n) work and polylog span, producing an ideally balanced IST
-// (Definition 5). The input slice is not retained.
-func NewFromSorted[K iindex.Numeric](cfg Config, pool *parallel.Pool, keys []K) *Tree[K] {
-	t := New[K](cfg, pool)
-	t.root = t.buildIdeal(keys)
+// NewFromSorted bulk-loads a set (a Tree with struct{} values) from
+// sorted duplicate-free keys in O(n) work and polylog span, producing
+// an ideally balanced IST (Definition 5). The input slice is not
+// retained: buildIdeal copies keys into fresh leaf and Rep arrays, so
+// the caller may mutate keys afterwards.
+func NewFromSorted[K iindex.Numeric](cfg Config, pool *parallel.Pool, keys []K) *Tree[K, struct{}] {
+	return NewFromSortedKV(cfg, pool, keys, make([]struct{}, len(keys)))
+}
+
+// NewFromSortedKV bulk-loads a tree from sorted duplicate-free keys and
+// their values (vals[i] belongs to keys[i]; the slices must have equal
+// length). Neither input slice is retained.
+func NewFromSortedKV[K iindex.Numeric, V any](cfg Config, pool *parallel.Pool, keys []K, vals []V) *Tree[K, V] {
+	if len(keys) != len(vals) {
+		panic("core: NewFromSortedKV keys/vals length mismatch")
+	}
+	t := New[K, V](cfg, pool)
+	t.root = t.buildIdeal(keys, vals)
 	return t
 }
 
 // Pool returns the pool the tree runs its batched operations on.
-func (t *Tree[K]) Pool() *parallel.Pool { return t.pool }
+func (t *Tree[K, V]) Pool() *parallel.Pool { return t.pool }
 
 // SetPool changes the pool used by subsequent operations. It is the
 // mechanism behind the worker-count sweep of the Fig. 17 experiments.
-func (t *Tree[K]) SetPool(pool *parallel.Pool) { t.pool = pool }
+func (t *Tree[K, V]) SetPool(pool *parallel.Pool) { t.pool = pool }
 
-// Len reports the number of live keys in the set.
-func (t *Tree[K]) Len() int {
+// Len reports the number of live keys in the tree.
+func (t *Tree[K, V]) Len() int {
 	if t.root == nil {
 		return 0
 	}
@@ -128,33 +154,56 @@ func (t *Tree[K]) Len() int {
 
 // Keys returns the live keys in ascending order using the parallel
 // flatten of §7.2.
-func (t *Tree[K]) Keys() []K {
+func (t *Tree[K, V]) Keys() []K {
+	keys, _ := t.flatten(t.root)
+	return keys
+}
+
+// Items returns the live keys in ascending order together with their
+// values, position-aligned, in one parallel flatten.
+func (t *Tree[K, V]) Items() ([]K, []V) {
 	return t.flatten(t.root)
 }
 
-// Contains reports whether key is in the set. It is a batch of size
+// Contains reports whether key is in the tree. It is a batch of size
 // one; hot scalar paths should use the sequential tree or batch their
 // queries.
-func (t *Tree[K]) Contains(key K) bool {
+func (t *Tree[K, V]) Contains(key K) bool {
 	buf := [1]K{key}
 	var res [1]bool
 	t.containsRec(t.root, buf[:], 0, 1, res[:])
 	return res[0]
 }
 
-// Insert adds key to the set, reporting whether it was absent.
-func (t *Tree[K]) Insert(key K) bool {
+// Get returns the value stored under key; ok is false when the key is
+// absent. Like Contains, it is a batch of size one.
+func (t *Tree[K, V]) Get(key K) (val V, ok bool) {
+	buf := [1]K{key}
+	var vals [1]V
+	var found [1]bool
+	t.getRec(t.root, buf[:], 0, 1, vals[:], found[:])
+	return vals[0], found[0]
+}
+
+// Insert adds key with a zero value, reporting whether it was absent.
+func (t *Tree[K, V]) Insert(key K) bool {
 	return t.InsertBatched([]K{key}) == 1
 }
 
-// Remove deletes key from the set, reporting whether it was present.
-func (t *Tree[K]) Remove(key K) bool {
+// Put stores val under key (inserting or overwriting), reporting
+// whether the key was absent.
+func (t *Tree[K, V]) Put(key K, val V) bool {
+	return t.PutBatched([]K{key}, []V{val}) == 1
+}
+
+// Remove deletes key, reporting whether it was present.
+func (t *Tree[K, V]) Remove(key K) bool {
 	return t.RemoveBatched([]K{key}) == 1
 }
 
 // rebuildDue reports whether applying k more modifications to v would
 // exceed the rebuild budget C·InitSize (§7.1).
-func (t *Tree[K]) rebuildDue(v *node[K], k int) bool {
+func (t *Tree[K, V]) rebuildDue(v *node[K, V], k int) bool {
 	budget := t.cfg.RebuildFactor * v.initSize
 	if budget < t.cfg.RebuildFactor {
 		budget = t.cfg.RebuildFactor

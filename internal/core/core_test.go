@@ -35,7 +35,7 @@ func sortedUniqueKeys(seed int64, n int, span int64) []int64 {
 func TestEmptyTreeBatches(t *testing.T) {
 	for name, p := range corePools() {
 		t.Run(name, func(t *testing.T) {
-			tr := New[int64](Config{}, p)
+			tr := New[int64, struct{}](Config{}, p)
 			if got := tr.ContainsBatched([]int64{1, 2, 3}); slices.Contains(got, true) {
 				t.Fatal("empty tree claims to contain keys")
 			}
@@ -56,7 +56,7 @@ func TestInsertBatchedIntoEmptyTree(t *testing.T) {
 	for name, p := range corePools() {
 		t.Run(name, func(t *testing.T) {
 			keys := sortedUniqueKeys(1, 10000, 1<<40)
-			tr := New[int64](Config{}, p)
+			tr := New[int64, struct{}](Config{}, p)
 			if n := tr.InsertBatched(keys); n != len(keys) {
 				t.Fatalf("inserted %d, want %d", n, len(keys))
 			}
@@ -145,7 +145,7 @@ func TestReviveBatch(t *testing.T) {
 }
 
 func TestScalarWrappers(t *testing.T) {
-	tr := New[int64](Config{}, nil)
+	tr := New[int64, struct{}](Config{}, nil)
 	if !tr.Insert(5) || tr.Insert(5) {
 		t.Fatal("scalar Insert semantics wrong")
 	}
@@ -158,7 +158,7 @@ func TestScalarWrappers(t *testing.T) {
 }
 
 func TestSetPool(t *testing.T) {
-	tr := New[int64](Config{}, nil)
+	tr := New[int64, struct{}](Config{}, nil)
 	if tr.Pool().Workers() != 1 {
 		t.Fatal("nil pool should report one worker")
 	}
@@ -176,7 +176,7 @@ func TestSetPool(t *testing.T) {
 func TestBulkLoadMatchesIncremental(t *testing.T) {
 	keys := sortedUniqueKeys(9, 30000, 1<<35)
 	bulk := NewFromSorted(Config{}, parallel.NewPool(8), keys)
-	incr := New[int64](Config{}, parallel.NewPool(8))
+	incr := New[int64, struct{}](Config{}, parallel.NewPool(8))
 	for lo := 0; lo < len(keys); lo += 1000 {
 		hi := min(lo+1000, len(keys))
 		batch := slices.Clone(keys[lo:hi])

@@ -21,7 +21,7 @@ import (
 
 func TestCrossImplementationAgreement(t *testing.T) {
 	pool := parallel.NewPool(4)
-	ist := New[int64](Config{LeafCap: 8, RebuildFactor: 2}, pool)
+	ist := New[int64, struct{}](Config{LeafCap: 8, RebuildFactor: 2}, pool)
 	seq := iseq.New[int64](iseq.Config{LeafCap: 8, RebuildFactor: 2})
 	rb := rbtree.New[int64]()
 	sl := skiplist.New[int64](77)
@@ -103,7 +103,7 @@ func TestExtremeKeyValues(t *testing.T) {
 	// float64 conversion loses precision.
 	const maxi = int64(1)<<62 - 1
 	keys := []int64{-maxi, -maxi + 1, -1, 0, 1, maxi - 1, maxi}
-	tr := New[int64](Config{LeafCap: 2}, parallel.NewPool(2))
+	tr := New[int64, struct{}](Config{LeafCap: 2}, parallel.NewPool(2))
 	if n := tr.InsertBatched(keys); n != len(keys) {
 		t.Fatalf("inserted %d extreme keys, want %d", n, len(keys))
 	}
@@ -177,7 +177,7 @@ func TestOverlappingHalfBatches(t *testing.T) {
 	// Batches that 50%-overlap current contents stress the
 	// filter-then-apply pipeline of §5/§6.
 	pool := parallel.NewPool(4)
-	tr := New[int64](Config{}, pool)
+	tr := New[int64, struct{}](Config{}, pool)
 	ref := refSet{}
 	r := rand.New(rand.NewSource(56))
 	for round := 0; round < 30; round++ {

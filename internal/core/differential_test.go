@@ -78,7 +78,7 @@ func TestDifferentialBatchSequences(t *testing.T) {
 	for cname, cfg := range configs {
 		for pname, p := range corePools() {
 			t.Run(cname+"/"+pname, func(t *testing.T) {
-				tr := New[int64](cfg, p)
+				tr := New[int64, struct{}](cfg, p)
 				ref := refSet{}
 				r := rand.New(rand.NewSource(int64(len(cname)*31 + len(pname))))
 				const span = 5000
@@ -115,7 +115,7 @@ func TestLargeChurnKeepsBalance(t *testing.T) {
 	// Sustained insert/remove churn across many batches: the rebuild
 	// rule must keep height doubly logarithmic and reclaim dead keys.
 	p := parallel.NewPool(8)
-	tr := New[int64](Config{}, p)
+	tr := New[int64, struct{}](Config{}, p)
 	ref := refSet{}
 	r := rand.New(rand.NewSource(77))
 	const span = 1 << 22
@@ -147,7 +147,7 @@ func TestMonotoneBatchesRebalance(t *testing.T) {
 	// Strictly ascending batches are the adversarial pattern of
 	// Fig. 7: without rebuilds everything piles into the rightmost
 	// leaf.
-	tr := New[int64](Config{}, parallel.NewPool(4))
+	tr := New[int64, struct{}](Config{}, parallel.NewPool(4))
 	next := int64(0)
 	for round := 0; round < 50; round++ {
 		batch := make([]int64, 2000)
@@ -170,7 +170,7 @@ func TestMonotoneBatchesRebalance(t *testing.T) {
 
 func TestSingletonBatches(t *testing.T) {
 	// Degenerate batch size m=1 must behave exactly like scalar ops.
-	tr := New[int64](Config{LeafCap: 4, RebuildFactor: 1}, parallel.NewPool(2))
+	tr := New[int64, struct{}](Config{LeafCap: 4, RebuildFactor: 1}, parallel.NewPool(2))
 	ref := refSet{}
 	r := rand.New(rand.NewSource(31))
 	for op := 0; op < 5000; op++ {
@@ -198,7 +198,7 @@ func TestSingletonBatches(t *testing.T) {
 func TestQuickPropertyBatches(t *testing.T) {
 	p := parallel.NewPool(4)
 	prop := func(rounds []byte, seed int64) bool {
-		tr := New[int64](Config{LeafCap: 8, RebuildFactor: 2}, p)
+		tr := New[int64, struct{}](Config{LeafCap: 8, RebuildFactor: 2}, p)
 		ref := refSet{}
 		r := rand.New(rand.NewSource(seed))
 		for _, op := range rounds {
@@ -263,10 +263,10 @@ func TestSetAlgebraIdentities(t *testing.T) {
 
 // checkInvariants validates rep sortedness, child key ranges, lengths,
 // and size bookkeeping of the whole tree.
-func checkInvariants(t *testing.T, tr *Tree[int64]) {
+func checkInvariants(t *testing.T, tr *Tree[int64, struct{}]) {
 	t.Helper()
-	var walk func(v *node[int64], lo, hi *int64) int
-	walk = func(v *node[int64], lo, hi *int64) int {
+	var walk func(v *node[int64, struct{}], lo, hi *int64) int
+	walk = func(v *node[int64, struct{}], lo, hi *int64) int {
 		if v == nil {
 			return 0
 		}
@@ -275,6 +275,9 @@ func checkInvariants(t *testing.T, tr *Tree[int64]) {
 		}
 		if len(v.exists) != len(v.rep) {
 			t.Fatalf("exists/rep length mismatch: %d vs %d", len(v.exists), len(v.rep))
+		}
+		if len(v.vals) != len(v.rep) {
+			t.Fatalf("vals/rep length mismatch: %d vs %d", len(v.vals), len(v.rep))
 		}
 		if !slices.IsSorted(v.rep) {
 			t.Fatalf("rep not sorted")

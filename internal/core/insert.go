@@ -5,18 +5,19 @@ import (
 	"repro/internal/parallel"
 )
 
-// InsertBatched adds every key of the sorted duplicate-free batch to
-// the set and returns the number of keys actually inserted (keys
-// already present are skipped). It implements §5: the batch is first
-// filtered against the current contents with ContainsBatched + Filter,
-// then the surviving keys traverse to their target leaves, reviving
-// logically removed slots on the way (§6, Fig. 13) and merging into
-// leaf Rep arrays (Fig. 11). Subtrees whose modification budget is
-// exceeded are rebuilt ideally en route (§7.1).
+// InsertBatched adds every key of the sorted duplicate-free batch with
+// a zero value and returns the number of keys actually inserted (keys
+// already present are skipped, keeping their stored value). It
+// implements §5: the batch is first filtered against the current
+// contents with ContainsBatched + Filter, then the surviving keys
+// traverse to their target leaves, reviving logically removed slots on
+// the way (§6, Fig. 13) and merging into leaf Rep arrays (Fig. 11).
+// Subtrees whose modification budget is exceeded are rebuilt ideally
+// en route (§7.1).
 //
 // InsertBatched(B) is set union: A.InsertBatched(B) makes A = A ∪ B
 // (§2.2).
-func (t *Tree[K]) InsertBatched(keys []K) int {
+func (t *Tree[K, V]) InsertBatched(keys []K) int {
 	if len(keys) == 0 {
 		return 0
 	}
@@ -25,27 +26,58 @@ func (t *Tree[K]) InsertBatched(keys []K) int {
 	if len(fresh) == 0 {
 		return 0
 	}
-	t.root = t.insertRec(t.root, fresh, 0, len(fresh))
+	t.root = t.insertRec(t.root, fresh, make([]V, len(fresh)), 0, len(fresh))
 	return len(fresh)
 }
 
-// insertRec inserts keys[l:r) — all logically absent from the set —
-// into subtree v and returns the possibly replaced subtree root.
-func (t *Tree[K]) insertRec(v *node[K], keys []K, l, r int) *node[K] {
+// PutBatched upserts every (keys[i], vals[i]) pair of the sorted
+// duplicate-free batch and returns the number of keys that were newly
+// inserted (as opposed to overwritten). The batch splits against the
+// current contents: keys already live take one value-overwrite
+// traversal (updateRec — no structural change, so no rebuild
+// accounting), absent keys take the §5 insertion traversal with their
+// values riding alongside. Both halves are batched; there is no
+// per-key fallback.
+func (t *Tree[K, V]) PutBatched(keys []K, vals []V) int {
+	if len(keys) != len(vals) {
+		panic("core: PutBatched keys/vals length mismatch")
+	}
+	if len(keys) == 0 {
+		return 0
+	}
+	present := t.ContainsBatched(keys)
+	hitK := parallel.FilterIndex(t.pool, keys, func(i int) bool { return present[i] })
+	if len(hitK) > 0 {
+		hitV := parallel.FilterIndex(t.pool, vals, func(i int) bool { return present[i] })
+		t.updateRec(t.root, hitK, hitV, 0, len(hitK))
+	}
+	if len(hitK) == len(keys) {
+		return 0
+	}
+	freshK := parallel.FilterIndex(t.pool, keys, func(i int) bool { return !present[i] })
+	freshV := parallel.FilterIndex(t.pool, vals, func(i int) bool { return !present[i] })
+	t.root = t.insertRec(t.root, freshK, freshV, 0, len(freshK))
+	return len(freshK)
+}
+
+// insertRec inserts keys[l:r) — all logically absent from the tree —
+// with their values into subtree v and returns the possibly replaced
+// subtree root.
+func (t *Tree[K, V]) insertRec(v *node[K, V], keys []K, vals []V, l, r int) *node[K, V] {
 	if v == nil {
 		// Empty range: the sub-batch becomes a fresh ideal subtree.
-		return t.buildIdeal(keys[l:r])
+		return t.buildIdeal(keys[l:r], vals[l:r])
 	}
 	if r-l <= seqSegCutoff || t.pool.Workers() == 1 {
-		return t.insertSeq(v, keys, l, r, &scratch{}, 0)
+		return t.insertSeq(v, keys, vals, l, r, &scratch{}, 0)
 	}
 	k := r - l
 	if t.rebuildDue(v, k) {
 		// §7.1 step 2a: flatten, merge the triggering sub-batch,
 		// rebuild ideally. The recursion stops here for this subtree.
-		flat := t.flatten(v)
-		merged := parallel.Merge(t.pool, flat, keys[l:r])
-		return t.buildIdeal(merged)
+		flatK, flatV := t.flatten(v)
+		mk, mv := parallel.MergeKV(t.pool, flatK, flatV, keys[l:r], vals[l:r])
+		return t.buildIdeal(mk, mv)
 	}
 	v.modCnt += k
 	v.size += k
@@ -55,56 +87,97 @@ func (t *Tree[K]) insertRec(v *node[K], keys []K, l, r int) *node[K] {
 	t.findPositions(v, keys, l, r, pf)
 
 	// Revive keys that still exist physically but were logically
-	// removed (§6): they are guaranteed dead here because the batch
-	// was filtered against live contents.
-	exists := v.exists
+	// removed (§6), storing the incoming value: they are guaranteed
+	// dead here because the batch was filtered against live contents.
+	exists, vv := v.exists, v.vals
 	parallel.For(t.pool, seg, 0, func(i int) {
 		if pf[i]&1 == 1 {
 			exists[pf[i]>>1] = true
+			vv[pf[i]>>1] = vals[l+i]
 		}
 	})
 
 	if v.isLeaf() {
-		// Fig. 11: merge the physically absent keys into the leaf.
-		absent := parallel.FilterIndex(t.pool, keys[l:r], func(i int) bool { return pf[i]&1 == 0 })
-		if len(absent) > 0 {
-			v.rep, v.exists = mergeLeaf(v.rep, v.exists, absent)
+		// Fig. 11: merge the physically absent pairs into the leaf.
+		absentK := parallel.FilterIndex(t.pool, keys[l:r], func(i int) bool { return pf[i]&1 == 0 })
+		if len(absentK) > 0 {
+			absentV := parallel.FilterIndex(t.pool, vals[l:r], func(i int) bool { return pf[i]&1 == 0 })
+			v.rep, v.vals, v.exists = mergeLeaf(v.rep, v.vals, v.exists, absentK, absentV)
 		}
 		return v
 	}
 	t.forEachChildRun(pf, func(lo, hi int, child int) {
-		v.children[child] = t.insertRec(v.children[child], keys, l+lo, l+hi)
+		v.children[child] = t.insertRec(v.children[child], keys, vals, l+lo, l+hi)
 	})
 	return v
 }
 
-// mergeLeaf merges the sorted batch into a leaf's rep/exists pair.
-// Batch keys are new and therefore live. The merge is sequential: the
-// rebuild rule bounds live leaf growth by C·InitSize before a rebuild
-// replaces the leaf, so this is O(LeafCap·(C+1)) per leaf, and distinct
-// leaves merge in parallel with each other.
-func mergeLeaf[K iindex.Numeric](rep []K, exists []bool, batch []K) ([]K, []bool) {
-	nr := make([]K, 0, len(rep)+len(batch))
-	ne := make([]bool, 0, len(rep)+len(batch))
+// updateRec overwrites the stored values of keys[l:r) — all logically
+// present — with vals[l:r). Value overwrites are not structural
+// modifications: Rep arrays, sizes, and the rebuild budget are
+// untouched, so the traversal is read-shaped (like containsRec) with
+// one write per key at the node whose Rep holds it. Each batch key is
+// live, so it is found exactly once along its root-to-leaf path, at a
+// live slot.
+func (t *Tree[K, V]) updateRec(v *node[K, V], keys []K, vals []V, l, r int) {
+	if v == nil {
+		return
+	}
+	seg := r - l
+	if seg <= seqSegCutoff || t.pool.Workers() == 1 {
+		t.updateSeq(v, keys, vals, l, r, &scratch{}, 0)
+		return
+	}
+	pf := make([]int32, seg)
+	t.findPositions(v, keys, l, r, pf)
+	vv := v.vals
+	parallel.For(t.pool, seg, 0, func(i int) {
+		if pf[i]&1 == 1 {
+			vv[pf[i]>>1] = vals[l+i]
+		}
+	})
+	if v.isLeaf() {
+		return
+	}
+	t.forEachChildRun(pf, func(lo, hi int, child int) {
+		t.updateRec(v.children[child], keys, vals, l+lo, l+hi)
+	})
+}
+
+// mergeLeaf merges the sorted batch and its values into a leaf's
+// rep/vals/exists triple. Batch keys are new and therefore live. The
+// merge is sequential: the rebuild rule bounds live leaf growth by
+// C·InitSize before a rebuild replaces the leaf, so this is
+// O(LeafCap·(C+1)) per leaf, and distinct leaves merge in parallel
+// with each other.
+func mergeLeaf[K iindex.Numeric, V any](rep []K, vals []V, exists []bool, batchK []K, batchV []V) ([]K, []V, []bool) {
+	n := len(rep) + len(batchK)
+	nr := make([]K, 0, n)
+	nv := make([]V, 0, n)
+	ne := make([]bool, 0, n)
 	i, j := 0, 0
-	for i < len(rep) && j < len(batch) {
-		if rep[i] < batch[j] {
+	for i < len(rep) && j < len(batchK) {
+		if rep[i] < batchK[j] {
 			nr = append(nr, rep[i])
+			nv = append(nv, vals[i])
 			ne = append(ne, exists[i])
 			i++
 		} else {
-			nr = append(nr, batch[j])
+			nr = append(nr, batchK[j])
+			nv = append(nv, batchV[j])
 			ne = append(ne, true)
 			j++
 		}
 	}
 	for ; i < len(rep); i++ {
 		nr = append(nr, rep[i])
+		nv = append(nv, vals[i])
 		ne = append(ne, exists[i])
 	}
-	for ; j < len(batch); j++ {
-		nr = append(nr, batch[j])
+	for ; j < len(batchK); j++ {
+		nr = append(nr, batchK[j])
+		nv = append(nv, batchV[j])
 		ne = append(ne, true)
 	}
-	return nr, ne
+	return nr, nv, ne
 }

@@ -2,24 +2,26 @@ package core
 
 import "repro/internal/iindex"
 
-// Ordered-set queries beyond membership: extrema, range extraction,
-// counting, and order statistics. These are standard sorted-set API
-// surface (std::set exposes the equivalents through iterators) and all
-// respect logical deletion — dead keys are invisible.
+// Ordered queries beyond membership: extrema, range extraction,
+// counting, and order statistics. These are standard sorted-map API
+// surface (std::map exposes the equivalents through iterators) and all
+// respect logical deletion — dead keys are invisible. Key-returning
+// queries carry the stored value along; set instantiations
+// (V = struct{}) simply ignore it.
 
-// Min returns the smallest live key; ok is false when the set is
-// empty. Cost O(height · fanout) worst case; the size counters let the
-// walk skip all-dead subtrees.
-func (t *Tree[K]) Min() (key K, ok bool) {
+// Min returns the smallest live key and its value; ok is false when
+// the tree is empty. Cost O(height · fanout) worst case; the size
+// counters let the walk skip all-dead subtrees.
+func (t *Tree[K, V]) Min() (key K, val V, ok bool) {
 	v := t.root
 	for v != nil && v.size > 0 {
 		if v.isLeaf() {
 			for i, x := range v.rep {
 				if v.exists[i] {
-					return x, true
+					return x, v.vals[i], true
 				}
 			}
-			return key, false // unreachable while size > 0
+			return key, val, false // unreachable while size > 0
 		}
 		descended := false
 		for i := range v.rep {
@@ -28,27 +30,28 @@ func (t *Tree[K]) Min() (key K, ok bool) {
 				break
 			}
 			if v.exists[i] {
-				return v.rep[i], true
+				return v.rep[i], v.vals[i], true
 			}
 		}
 		if !descended {
 			v = v.children[len(v.rep)]
 		}
 	}
-	return key, false
+	return key, val, false
 }
 
-// Max returns the largest live key; ok is false when the set is empty.
-func (t *Tree[K]) Max() (key K, ok bool) {
+// Max returns the largest live key and its value; ok is false when the
+// tree is empty.
+func (t *Tree[K, V]) Max() (key K, val V, ok bool) {
 	v := t.root
 	for v != nil && v.size > 0 {
 		if v.isLeaf() {
 			for i := len(v.rep) - 1; i >= 0; i-- {
 				if v.exists[i] {
-					return v.rep[i], true
+					return v.rep[i], v.vals[i], true
 				}
 			}
-			return key, false // unreachable while size > 0
+			return key, val, false // unreachable while size > 0
 		}
 		if c := v.children[len(v.rep)]; c != nil && c.size > 0 {
 			v = c
@@ -57,7 +60,7 @@ func (t *Tree[K]) Max() (key K, ok bool) {
 		descended := false
 		for i := len(v.rep) - 1; i >= 0; i-- {
 			if v.exists[i] {
-				return v.rep[i], true
+				return v.rep[i], v.vals[i], true
 			}
 			if c := v.children[i]; c != nil && c.size > 0 {
 				v, descended = c, true
@@ -65,106 +68,60 @@ func (t *Tree[K]) Max() (key K, ok bool) {
 			}
 		}
 		if !descended {
-			return key, false // unreachable while size > 0
+			return key, val, false // unreachable while size > 0
 		}
 	}
-	return key, false
+	return key, val, false
 }
 
 // Range returns the live keys in [lo, hi] in ascending order.
-func (t *Tree[K]) Range(lo, hi K) []K {
-	return t.AppendRange(nil, lo, hi)
+func (t *Tree[K, V]) Range(lo, hi K) []K {
+	keys, _ := t.AppendRangeKV(nil, nil, lo, hi)
+	return keys
+}
+
+// RangeKV returns the live keys in [lo, hi] in ascending order
+// together with their values, position-aligned.
+func (t *Tree[K, V]) RangeKV(lo, hi K) ([]K, []V) {
+	return t.AppendRangeKV(nil, nil, lo, hi)
 }
 
 // AppendRange appends the live keys in [lo, hi], ascending, to dst and
-// returns the extended slice. Only the two boundary root-to-leaf paths
-// inspect keys individually; fully covered subtrees are emitted
-// wholesale, so the cost is O(log log n + output) on a balanced tree.
-func (t *Tree[K]) AppendRange(dst []K, lo, hi K) []K {
-	if hi < lo {
-		return dst
-	}
-	return appendRange(t.root, dst, &lo, &hi)
-}
-
-// appendRange emits live keys of v between the bounds; a nil bound
-// means that side is unconstrained, which lets covered subtrees skip
-// per-key comparisons entirely.
-func appendRange[K iindex.Numeric](v *node[K], dst []K, lo, hi *K) []K {
-	if v == nil || v.size == 0 {
-		return dst
-	}
-	if lo == nil && hi == nil {
-		return appendLiveKeys(v, dst)
-	}
-	inRange := func(x K) bool {
-		return (lo == nil || *lo <= x) && (hi == nil || x <= *hi)
-	}
-	if v.isLeaf() {
-		for i, x := range v.rep {
-			if v.exists[i] && inRange(x) {
-				dst = append(dst, x)
-			}
-		}
-		return dst
-	}
-	k := len(v.rep)
-	start, end := 0, k
-	if lo != nil {
-		start = lowerBoundKeys(v.rep, *lo) // children before this cannot intersect
-	}
-	if hi != nil {
-		end = upperBoundKeys(v.rep, *hi) // children after this cannot intersect
-	}
-	for i := start; i <= end; i++ {
-		clo, chi := lo, hi
-		if i > start {
-			clo = nil // interior child: fully above lo
-		}
-		if i < end {
-			chi = nil // interior child: fully below hi
-		}
-		dst = appendRange(v.children[i], dst, clo, chi)
-		if i < end && v.exists[i] && inRange(v.rep[i]) {
-			dst = append(dst, v.rep[i])
-		}
-	}
+// returns the extended slice; values are not materialized (for the
+// set instantiation the value slice is zero-byte anyway).
+func (t *Tree[K, V]) AppendRange(dst []K, lo, hi K) []K {
+	dst, _ = t.AppendRangeKV(dst, nil, lo, hi)
 	return dst
 }
 
-// appendLiveKeys emits every live key of v in ascending order.
-func appendLiveKeys[K iindex.Numeric](v *node[K], dst []K) []K {
-	if v == nil {
-		return dst
+// AppendRangeKV appends the live keys in [lo, hi], ascending, to dstK
+// and their values to dstV, returning the extended slices. It shares
+// the bounded walk of the Ascend iterator (iter.go): only the two
+// boundary root-to-leaf paths inspect keys individually, so the cost
+// is O(log log n + output) on a balanced tree.
+func (t *Tree[K, V]) AppendRangeKV(dstK []K, dstV []V, lo, hi K) ([]K, []V) {
+	if hi < lo {
+		return dstK, dstV
 	}
-	if v.isLeaf() {
-		for i, x := range v.rep {
-			if v.exists[i] {
-				dst = append(dst, x)
-			}
-		}
-		return dst
-	}
-	for i := range v.rep {
-		dst = appendLiveKeys(v.children[i], dst)
-		if v.exists[i] {
-			dst = append(dst, v.rep[i])
-		}
-	}
-	return appendLiveKeys(v.children[len(v.rep)], dst)
+	ascendNode(t.root, &lo, &hi, func(k K, v V) bool {
+		dstK = append(dstK, k)
+		dstV = append(dstV, v)
+		return true
+	})
+	return dstK, dstV
 }
 
 // CountRange reports the number of live keys in [lo, hi] without
 // materializing them: covered subtrees contribute their cached sizes,
 // so only the two boundary paths recurse.
-func (t *Tree[K]) CountRange(lo, hi K) int {
+func (t *Tree[K, V]) CountRange(lo, hi K) int {
 	if hi < lo {
 		return 0
 	}
 	return countRange(t.root, &lo, &hi)
 }
 
-func countRange[K iindex.Numeric](v *node[K], lo, hi *K) int {
+func countRange[K iindex.Numeric, V any](v *node[K, V], lo, hi *K) int {
 	if v == nil || v.size == 0 {
 		return 0
 	}
@@ -207,13 +164,13 @@ func countRange[K iindex.Numeric](v *node[K], lo, hi *K) int {
 	return n
 }
 
-// Select returns the idx-th smallest live key (0-based); ok is false
-// when idx is out of range. Cached subtree sizes make each level a
-// prefix scan over one node's sources.
-func (t *Tree[K]) Select(idx int) (key K, ok bool) {
+// Select returns the idx-th smallest live key (0-based) and its value;
+// ok is false when idx is out of range. Cached subtree sizes make each
+// level a prefix scan over one node's sources.
+func (t *Tree[K, V]) Select(idx int) (key K, val V, ok bool) {
 	v := t.root
 	if v == nil || idx < 0 || idx >= v.size {
-		return key, false
+		return key, val, false
 	}
 	for {
 		if v.isLeaf() {
@@ -222,11 +179,11 @@ func (t *Tree[K]) Select(idx int) (key K, ok bool) {
 					continue
 				}
 				if idx == 0 {
-					return x, true
+					return x, v.vals[i], true
 				}
 				idx--
 			}
-			return key, false // unreachable: idx < live count
+			return key, val, false // unreachable: idx < live count
 		}
 		descended := false
 		for i := range v.rep {
@@ -239,7 +196,7 @@ func (t *Tree[K]) Select(idx int) (key K, ok bool) {
 			}
 			if v.exists[i] {
 				if idx == 0 {
-					return v.rep[i], true
+					return v.rep[i], v.vals[i], true
 				}
 				idx--
 			}
@@ -251,7 +208,7 @@ func (t *Tree[K]) Select(idx int) (key K, ok bool) {
 }
 
 // RankOf reports the number of live keys strictly less than key.
-func (t *Tree[K]) RankOf(key K) int {
+func (t *Tree[K, V]) RankOf(key K) int {
 	v := t.root
 	rank := 0
 	for v != nil {

@@ -21,19 +21,19 @@ func rangeRef(keys []int64, lo, hi int64) []int64 {
 }
 
 func TestMinMax(t *testing.T) {
-	tr := New[int64](Config{}, nil)
-	if _, ok := tr.Min(); ok {
+	tr := New[int64, struct{}](Config{}, nil)
+	if _, _, ok := tr.Min(); ok {
 		t.Fatal("Min on empty tree reported ok")
 	}
-	if _, ok := tr.Max(); ok {
+	if _, _, ok := tr.Max(); ok {
 		t.Fatal("Max on empty tree reported ok")
 	}
 	keys := sortedUniqueKeys(1, 10000, 1<<40)
 	tr = NewFromSorted(Config{}, parallel.NewPool(4), keys)
-	if mn, ok := tr.Min(); !ok || mn != keys[0] {
+	if mn, _, ok := tr.Min(); !ok || mn != keys[0] {
 		t.Fatalf("Min = %d,%v want %d", mn, ok, keys[0])
 	}
-	if mx, ok := tr.Max(); !ok || mx != keys[len(keys)-1] {
+	if mx, _, ok := tr.Max(); !ok || mx != keys[len(keys)-1] {
 		t.Fatalf("Max = %d,%v want %d", mx, ok, keys[len(keys)-1])
 	}
 }
@@ -42,17 +42,17 @@ func TestMinMaxSkipDeadKeys(t *testing.T) {
 	keys := []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20}
 	tr := NewFromSorted(Config{LeafCap: 4}, nil, keys)
 	tr.RemoveBatched([]int64{1, 2, 3, 18, 19, 20})
-	if mn, ok := tr.Min(); !ok || mn != 4 {
+	if mn, _, ok := tr.Min(); !ok || mn != 4 {
 		t.Fatalf("Min after removals = %d,%v want 4", mn, ok)
 	}
-	if mx, ok := tr.Max(); !ok || mx != 17 {
+	if mx, _, ok := tr.Max(); !ok || mx != 17 {
 		t.Fatalf("Max after removals = %d,%v want 17", mx, ok)
 	}
 	tr.RemoveBatched(tr.Keys())
-	if _, ok := tr.Min(); ok {
+	if _, _, ok := tr.Min(); ok {
 		t.Fatal("Min on fully-emptied tree reported ok")
 	}
-	if _, ok := tr.Max(); ok {
+	if _, _, ok := tr.Max(); ok {
 		t.Fatal("Max on fully-emptied tree reported ok")
 	}
 }
@@ -127,14 +127,14 @@ func TestSelectAndRankOf(t *testing.T) {
 	keys := sortedUniqueKeys(5, 8000, 1<<30)
 	tr := NewFromSorted(Config{}, parallel.NewPool(4), keys)
 	for _, idx := range []int{0, 1, 100, 4000, len(keys) - 1} {
-		if got, ok := tr.Select(idx); !ok || got != keys[idx] {
+		if got, _, ok := tr.Select(idx); !ok || got != keys[idx] {
 			t.Fatalf("Select(%d) = %d,%v want %d", idx, got, ok, keys[idx])
 		}
 	}
-	if _, ok := tr.Select(-1); ok {
+	if _, _, ok := tr.Select(-1); ok {
 		t.Fatal("Select(-1) should fail")
 	}
-	if _, ok := tr.Select(len(keys)); ok {
+	if _, _, ok := tr.Select(len(keys)); ok {
 		t.Fatal("Select(len) should fail")
 	}
 	for _, i := range []int{0, 7, 777, 7999} {
@@ -154,7 +154,7 @@ func TestSelectAndRankOf(t *testing.T) {
 }
 
 func TestSelectRankAfterChurn(t *testing.T) {
-	tr := New[int64](Config{LeafCap: 8, RebuildFactor: 2}, parallel.NewPool(4))
+	tr := New[int64, struct{}](Config{LeafCap: 8, RebuildFactor: 2}, parallel.NewPool(4))
 	ref := refSet{}
 	r := rand.New(rand.NewSource(7))
 	for round := 0; round < 30; round++ {
@@ -170,7 +170,7 @@ func TestSelectRankAfterChurn(t *testing.T) {
 		if idx < 0 || len(sorted) == 0 {
 			continue
 		}
-		if got, ok := tr.Select(idx); !ok || got != sorted[idx] {
+		if got, _, ok := tr.Select(idx); !ok || got != sorted[idx] {
 			t.Fatalf("Select(%d) after churn = %d,%v want %d", idx, got, ok, sorted[idx])
 		}
 		if got := tr.RankOf(sorted[idx]); got != idx {
@@ -184,7 +184,7 @@ func TestSelectRankRoundTripQuick(t *testing.T) {
 	tr := NewFromSorted(Config{}, nil, keys)
 	prop := func(rawIdx uint16) bool {
 		idx := int(rawIdx) % len(keys)
-		k, ok := tr.Select(idx)
+		k, _, ok := tr.Select(idx)
 		return ok && tr.RankOf(k) == idx
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {

@@ -12,28 +12,31 @@ import (
 // more than the work they contain.
 const buildSeqCutoff = 4096
 
-// flatten collects the live keys of subtree v into a fresh sorted array
-// (§7.2): O(n) work, O(log³ n) span (Theorem 1).
-func (t *Tree[K]) flatten(v *node[K]) []K {
+// flatten collects the live keys of subtree v — and their values,
+// position-aligned — into fresh sorted arrays (§7.2): O(n) work,
+// O(log³ n) span (Theorem 1).
+func (t *Tree[K, V]) flatten(v *node[K, V]) ([]K, []V) {
 	if v == nil {
-		return nil
+		return nil, nil
 	}
-	out := make([]K, v.size)
-	t.fillFlat(v, out)
-	return out
+	outK := make([]K, v.size)
+	outV := make([]V, v.size)
+	t.fillFlat(v, outK, outV)
+	return outK, outV
 }
 
-// fillFlat writes the live keys of v into out, which has length
-// v.size. Following §7.2, an inner node with k rep slots has 2k+1 key
-// sources — child i is source 2i, rep slot i is source 2i+1 — whose
-// output offsets are the exclusive prefix sums of their live sizes
-// (Fig. 15). All sources then emit in parallel.
-func (t *Tree[K]) fillFlat(v *node[K], out []K) {
+// fillFlat writes the live keys and values of v into outK/outV, which
+// have length v.size. Following §7.2, an inner node with k rep slots
+// has 2k+1 key sources — child i is source 2i, rep slot i is source
+// 2i+1 — whose output offsets are the exclusive prefix sums of their
+// live sizes (Fig. 15). All sources then emit in parallel.
+func (t *Tree[K, V]) fillFlat(v *node[K, V], outK []K, outV []V) {
 	if v.isLeaf() {
 		w := 0
 		for i, x := range v.rep {
 			if v.exists[i] {
-				out[w] = x
+				outK[w] = x
+				outV[w] = v.vals[i]
 				w++
 			}
 		}
@@ -60,30 +63,35 @@ func (t *Tree[K]) fillFlat(v *node[K], out []K) {
 	parallel.For(pool, 2*k+1, 1, func(s int) {
 		if s%2 == 0 {
 			if c := v.children[s/2]; c != nil {
-				t.fillFlat(c, out[offsets[s]:offsets[s]+c.size])
+				t.fillFlat(c, outK[offsets[s]:offsets[s]+c.size], outV[offsets[s]:offsets[s]+c.size])
 			}
 		} else if j := s / 2; v.exists[j] {
-			out[offsets[s]] = v.rep[j]
+			outK[offsets[s]] = v.rep[j]
+			outV[offsets[s]] = v.vals[j]
 		}
 	})
 }
 
 // buildIdeal constructs an ideally balanced IST (Definition 5) over
-// sorted duplicate-free keys: O(n) work and O(log n·log log n) span
-// (Theorem 1). Rep elements are spread evenly — k = ⌊√m⌋ slots at
-// positions (i+1)·m/(k+1) — and the k+1 children build in parallel.
+// sorted duplicate-free keys and their position-aligned values: O(n)
+// work and O(log n·log log n) span (Theorem 1). Rep elements are
+// spread evenly — k = ⌊√m⌋ slots at positions (i+1)·m/(k+1) — and the
+// k+1 children build in parallel. Both inputs are copied into fresh
+// leaf and Rep arrays, never aliased, so callers may keep mutating
+// them.
 //
 // (§7.3 spaces rep elements exactly k apart, which covers the input
 // only when m is a perfect square; the even spread is the Definition 5
 // reading and is what keeps every child at Θ(√m) keys.)
-func (t *Tree[K]) buildIdeal(keys []K) *node[K] {
+func (t *Tree[K, V]) buildIdeal(keys []K, vals []V) *node[K, V] {
 	m := len(keys)
 	if m == 0 {
 		return nil
 	}
 	if m <= t.cfg.LeafCap {
-		return &node[K]{
+		return &node[K, V]{
 			rep:      append(make([]K, 0, m), keys...),
+			vals:     append(make([]V, 0, m), vals...),
 			exists:   allTrue(m),
 			size:     m,
 			initSize: m,
@@ -93,10 +101,11 @@ func (t *Tree[K]) buildIdeal(keys []K) *node[K] {
 	if k < 2 {
 		k = 2
 	}
-	v := &node[K]{
+	v := &node[K, V]{
 		rep:      make([]K, k),
+		vals:     make([]V, k),
 		exists:   allTrue(k),
-		children: make([]*node[K], k+1),
+		children: make([]*node[K, V], k+1),
 		size:     m,
 		initSize: m,
 	}
@@ -113,8 +122,9 @@ func (t *Tree[K]) buildIdeal(keys []K) *node[K] {
 		if i < k {
 			hi = (i + 1) * m / (k + 1)
 			v.rep[i] = keys[hi]
+			v.vals[i] = vals[hi]
 		}
-		v.children[i] = t.buildIdeal(keys[lo:hi])
+		v.children[i] = t.buildIdeal(keys[lo:hi], vals[lo:hi])
 	})
 	v.idx = iindex.Build(v.rep, t.cfg.IndexSizeFactor)
 	return v

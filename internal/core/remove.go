@@ -3,16 +3,16 @@ package core
 import "repro/internal/parallel"
 
 // RemoveBatched deletes every key of the sorted duplicate-free batch
-// from the set and returns the number of keys actually removed (absent
+// from the tree and returns the number of keys actually removed (absent
 // keys are skipped). It implements §6: the batch is filtered to the
 // keys currently present, then the traversal marks each of them
 // logically removed in the Exists array of the node whose Rep holds it
-// (Fig. 12). Space is reclaimed by the next rebuild of an enclosing
-// subtree (§7).
+// (Fig. 12). Space — including the value slots — is reclaimed by the
+// next rebuild of an enclosing subtree (§7).
 //
 // RemoveBatched(B) is set difference: A.RemoveBatched(B) makes
 // A = A \ B (§2.2).
-func (t *Tree[K]) RemoveBatched(keys []K) int {
+func (t *Tree[K, V]) RemoveBatched(keys []K) int {
 	if len(keys) == 0 {
 		return 0
 	}
@@ -27,7 +27,7 @@ func (t *Tree[K]) RemoveBatched(keys []K) int {
 
 // removeRec removes keys[l:r) — all logically present — from subtree v
 // and returns the possibly replaced subtree root.
-func (t *Tree[K]) removeRec(v *node[K], keys []K, l, r int) *node[K] {
+func (t *Tree[K, V]) removeRec(v *node[K, V], keys []K, l, r int) *node[K, V] {
 	if r-l <= seqSegCutoff || t.pool.Workers() == 1 {
 		return t.removeSeq(v, keys, l, r, &scratch{}, 0)
 	}
@@ -35,9 +35,9 @@ func (t *Tree[K]) removeRec(v *node[K], keys []K, l, r int) *node[K] {
 	if t.rebuildDue(v, k) {
 		// §7.1 step 2b: flatten, subtract the triggering sub-batch,
 		// rebuild ideally.
-		flat := t.flatten(v)
-		kept := parallel.Difference(t.pool, flat, keys[l:r])
-		return t.buildIdeal(kept)
+		flatK, flatV := t.flatten(v)
+		keptK, keptV := parallel.DifferenceKV(t.pool, flatK, flatV, keys[l:r])
+		return t.buildIdeal(keptK, keptV)
 	}
 	v.modCnt += k
 	v.size -= k
@@ -47,7 +47,7 @@ func (t *Tree[K]) removeRec(v *node[K], keys []K, l, r int) *node[K] {
 	t.findPositions(v, keys, l, r, pf)
 
 	// Mark keys found in this rep as logically removed (§6). Every
-	// batch key is live in the set, so each is found exactly once
+	// batch key is live in the tree, so each is found exactly once
 	// along its root-to-leaf path.
 	exists := v.exists
 	parallel.For(t.pool, seg, 0, func(i int) {

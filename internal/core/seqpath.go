@@ -32,7 +32,7 @@ func (s *scratch) buf(depth, n int) []int32 {
 
 // findPositionsSeq is findPositions without parallel loops: it fills
 // pf[i] = pos<<1 | found for keys[l:r) against v.rep.
-func (t *Tree[K]) findPositionsSeq(v *node[K], keys []K, l, r int, pf []int32) {
+func (t *Tree[K, V]) findPositionsSeq(v *node[K, V], keys []K, l, r int, pf []int32) {
 	rep := v.rep
 	if t.cfg.Traverse == TraverseRank {
 		for i := l; i < r; i++ {
@@ -69,7 +69,7 @@ func pack(pos int, found bool) int32 {
 // containsSeq resolves membership of keys[l:r) in v's subtree without
 // allocating: positions live in the scratch arena and runs are found
 // by a linear scan.
-func (t *Tree[K]) containsSeq(v *node[K], keys []K, l, r int, result []bool, sc *scratch, depth int) {
+func (t *Tree[K, V]) containsSeq(v *node[K, V], keys []K, l, r int, result []bool, sc *scratch, depth int) {
 	if v == nil {
 		return
 	}
@@ -96,16 +96,46 @@ func (t *Tree[K]) containsSeq(v *node[K], keys []K, l, r int, result []bool, sc 
 	}
 }
 
-// insertSeq is insertRec on the sequential path.
-func (t *Tree[K]) insertSeq(v *node[K], keys []K, l, r int, sc *scratch, depth int) *node[K] {
+// getSeq is getRec on the sequential path: membership plus a value
+// read for every key found live.
+func (t *Tree[K, V]) getSeq(v *node[K, V], keys []K, l, r int, vals []V, found []bool, sc *scratch, depth int) {
 	if v == nil {
-		return t.buildIdeal(keys[l:r])
+		return
+	}
+	seg := r - l
+	pf := sc.buf(depth, seg)
+	t.findPositionsSeq(v, keys, l, r, pf)
+	for i, p := range pf {
+		if p&1 == 1 && v.exists[p>>1] {
+			found[l+i] = true
+			vals[l+i] = v.vals[p>>1]
+		}
+	}
+	if v.isLeaf() {
+		return
+	}
+	for i := 0; i < seg; {
+		j := i + 1
+		for j < seg && pf[j] == pf[i] {
+			j++
+		}
+		if pf[i]&1 == 0 {
+			t.getSeq(v.children[pf[i]>>1], keys, l+i, l+j, vals, found, sc, depth+1)
+		}
+		i = j
+	}
+}
+
+// insertSeq is insertRec on the sequential path.
+func (t *Tree[K, V]) insertSeq(v *node[K, V], keys []K, vals []V, l, r int, sc *scratch, depth int) *node[K, V] {
+	if v == nil {
+		return t.buildIdeal(keys[l:r], vals[l:r])
 	}
 	k := r - l
 	if t.rebuildDue(v, k) {
-		flat := t.flatten(v)
-		merged := parallel.Merge(t.pool, flat, keys[l:r])
-		return t.buildIdeal(merged)
+		flatK, flatV := t.flatten(v)
+		mk, mv := parallel.MergeKV(t.pool, flatK, flatV, keys[l:r], vals[l:r])
+		return t.buildIdeal(mk, mv)
 	}
 	v.modCnt += k
 	v.size += k
@@ -113,15 +143,16 @@ func (t *Tree[K]) insertSeq(v *node[K], keys []K, l, r int, sc *scratch, depth i
 	pf := sc.buf(depth, seg)
 	t.findPositionsSeq(v, keys, l, r, pf)
 	found := 0
-	for _, p := range pf {
+	for i, p := range pf {
 		if p&1 == 1 {
-			v.exists[p>>1] = true // revive (§6)
+			v.exists[p>>1] = true // revive (§6), storing the new value
+			v.vals[p>>1] = vals[l+i]
 			found++
 		}
 	}
 	if v.isLeaf() {
 		if found < seg {
-			v.rep, v.exists = mergeLeafPF(v.rep, v.exists, keys[l:r], pf, seg-found)
+			v.rep, v.vals, v.exists = mergeLeafPF(v.rep, v.vals, v.exists, keys[l:r], vals[l:r], pf, seg-found)
 		}
 		return v
 	}
@@ -132,20 +163,49 @@ func (t *Tree[K]) insertSeq(v *node[K], keys []K, l, r int, sc *scratch, depth i
 		}
 		if pf[i]&1 == 0 {
 			c := pf[i] >> 1
-			v.children[c] = t.insertSeq(v.children[c], keys, l+i, l+j, sc, depth+1)
+			v.children[c] = t.insertSeq(v.children[c], keys, vals, l+i, l+j, sc, depth+1)
 		}
 		i = j
 	}
 	return v
 }
 
+// updateSeq is updateRec on the sequential path: overwrite the value
+// of every (live) key at the node whose Rep holds it.
+func (t *Tree[K, V]) updateSeq(v *node[K, V], keys []K, vals []V, l, r int, sc *scratch, depth int) {
+	if v == nil {
+		return
+	}
+	seg := r - l
+	pf := sc.buf(depth, seg)
+	t.findPositionsSeq(v, keys, l, r, pf)
+	for i, p := range pf {
+		if p&1 == 1 {
+			v.vals[p>>1] = vals[l+i]
+		}
+	}
+	if v.isLeaf() {
+		return
+	}
+	for i := 0; i < seg; {
+		j := i + 1
+		for j < seg && pf[j] == pf[i] {
+			j++
+		}
+		if pf[i]&1 == 0 {
+			t.updateSeq(v.children[pf[i]>>1], keys, vals, l+i, l+j, sc, depth+1)
+		}
+		i = j
+	}
+}
+
 // removeSeq is removeRec on the sequential path.
-func (t *Tree[K]) removeSeq(v *node[K], keys []K, l, r int, sc *scratch, depth int) *node[K] {
+func (t *Tree[K, V]) removeSeq(v *node[K, V], keys []K, l, r int, sc *scratch, depth int) *node[K, V] {
 	k := r - l
 	if t.rebuildDue(v, k) {
-		flat := t.flatten(v)
-		kept := parallel.Difference(t.pool, flat, keys[l:r])
-		return t.buildIdeal(kept)
+		flatK, flatV := t.flatten(v)
+		keptK, keptV := parallel.DifferenceKV(t.pool, flatK, flatV, keys[l:r])
+		return t.buildIdeal(keptK, keptV)
 	}
 	v.modCnt += k
 	v.size -= k
@@ -174,38 +234,44 @@ func (t *Tree[K]) removeSeq(v *node[K], keys []K, l, r int, sc *scratch, depth i
 	return v
 }
 
-// mergeLeafPF merges the physically absent batch keys (found bit
-// clear in pf) into a leaf's rep/exists pair in one exact-size pass.
-func mergeLeafPF[K iindex.Numeric](rep []K, exists []bool, batch []K, pf []int32, absent int) ([]K, []bool) {
+// mergeLeafPF merges the physically absent batch pairs (found bit
+// clear in pf) into a leaf's rep/vals/exists triple in one exact-size
+// pass.
+func mergeLeafPF[K iindex.Numeric, V any](rep []K, vals []V, exists []bool, batchK []K, batchV []V, pf []int32, absent int) ([]K, []V, []bool) {
 	n := len(rep) + absent
 	nr := make([]K, 0, n)
+	nv := make([]V, 0, n)
 	ne := make([]bool, 0, n)
 	i, j := 0, 0
-	for i < len(rep) && j < len(batch) {
+	for i < len(rep) && j < len(batchK) {
 		if pf[j]&1 == 1 {
 			j++ // revived in place; already present in rep
 			continue
 		}
-		if rep[i] < batch[j] {
+		if rep[i] < batchK[j] {
 			nr = append(nr, rep[i])
+			nv = append(nv, vals[i])
 			ne = append(ne, exists[i])
 			i++
 		} else {
-			nr = append(nr, batch[j])
+			nr = append(nr, batchK[j])
+			nv = append(nv, batchV[j])
 			ne = append(ne, true)
 			j++
 		}
 	}
 	for ; i < len(rep); i++ {
 		nr = append(nr, rep[i])
+		nv = append(nv, vals[i])
 		ne = append(ne, exists[i])
 	}
-	for ; j < len(batch); j++ {
+	for ; j < len(batchK); j++ {
 		if pf[j]&1 == 1 {
 			continue
 		}
-		nr = append(nr, batch[j])
+		nr = append(nr, batchK[j])
+		nv = append(nv, batchV[j])
 		ne = append(ne, true)
 	}
-	return nr, ne
+	return nr, nv, ne
 }

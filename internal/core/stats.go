@@ -4,7 +4,7 @@ import "repro/internal/iindex"
 
 // Stats summarizes tree shape for inspection tools and balance tests.
 type Stats struct {
-	LiveKeys   int // keys logically in the set
+	LiveKeys   int // keys logically in the tree
 	DeadKeys   int // logically removed keys awaiting a rebuild
 	Nodes      int // total nodes, leaves included
 	Leaves     int // leaf nodes
@@ -15,7 +15,7 @@ type Stats struct {
 }
 
 // Stats computes shape statistics in one O(n) traversal.
-func (t *Tree[K]) Stats() Stats {
+func (t *Tree[K, V]) Stats() Stats {
 	var s Stats
 	if t.root != nil {
 		s.RootRepLen = len(t.root.rep)
@@ -24,7 +24,7 @@ func (t *Tree[K]) Stats() Stats {
 	return s
 }
 
-func statsRec[K iindex.Numeric](v *node[K], depth int, s *Stats) {
+func statsRec[K iindex.Numeric, V any](v *node[K, V], depth int, s *Stats) {
 	if v == nil {
 		return
 	}
@@ -53,11 +53,11 @@ func statsRec[K iindex.Numeric](v *node[K], depth int, s *Stats) {
 }
 
 // Height reports the number of nodes on the longest root-to-leaf path.
-func (t *Tree[K]) Height() int {
+func (t *Tree[K, V]) Height() int {
 	return heightRec(t.root)
 }
 
-func heightRec[K iindex.Numeric](v *node[K]) int {
+func heightRec[K iindex.Numeric, V any](v *node[K, V]) int {
 	if v == nil {
 		return 0
 	}

@@ -6,9 +6,9 @@ import (
 )
 
 // ContainsBatched reports membership for every key of the sorted
-// duplicate-free batch: result[i] is true iff keys[i] is in the set
+// duplicate-free batch: result[i] is true iff keys[i] is in the tree
 // (§4, Listing 1.2). Expected O(m·log log n) work and polylog span.
-func (t *Tree[K]) ContainsBatched(keys []K) []bool {
+func (t *Tree[K, V]) ContainsBatched(keys []K) []bool {
 	result := make([]bool, len(keys))
 	if len(keys) == 0 {
 		return result
@@ -17,10 +17,25 @@ func (t *Tree[K]) ContainsBatched(keys []K) []bool {
 	return result
 }
 
+// GetBatched fetches the value stored under every key of the sorted
+// duplicate-free batch: found[i] reports whether keys[i] is live, and
+// vals[i] is its value (the zero value when absent). It is the same
+// batched traversal as ContainsBatched with one extra value read per
+// key found, so it keeps the O(m·log log n) expected work bound.
+func (t *Tree[K, V]) GetBatched(keys []K) (vals []V, found []bool) {
+	vals = make([]V, len(keys))
+	found = make([]bool, len(keys))
+	if len(keys) == 0 {
+		return vals, found
+	}
+	t.getRec(t.root, keys, 0, len(keys), vals, found)
+	return vals, found
+}
+
 // containsRec is BatchedTraverse (§4.1, §4.2): it resolves membership
 // of keys[l:r) within the subtree of v, writing into result at global
 // batch positions.
-func (t *Tree[K]) containsRec(v *node[K], keys []K, l, r int, result []bool) {
+func (t *Tree[K, V]) containsRec(v *node[K, V], keys []K, l, r int, result []bool) {
 	if v == nil {
 		return // result entries stay false
 	}
@@ -47,11 +62,39 @@ func (t *Tree[K]) containsRec(v *node[K], keys []K, l, r int, result []bool) {
 	})
 }
 
+// getRec is containsRec with a value read: keys found live in v's rep
+// resolve here with their stored value, the rest descend.
+func (t *Tree[K, V]) getRec(v *node[K, V], keys []K, l, r int, vals []V, found []bool) {
+	if v == nil {
+		return // found entries stay false
+	}
+	seg := r - l
+	if seg <= seqSegCutoff || t.pool.Workers() == 1 {
+		t.getSeq(v, keys, l, r, vals, found, &scratch{}, 0)
+		return
+	}
+	pf := make([]int32, seg)
+	t.findPositions(v, keys, l, r, pf)
+	exists, vv := v.exists, v.vals
+	parallel.For(t.pool, seg, 0, func(i int) {
+		if pf[i]&1 == 1 && exists[pf[i]>>1] {
+			found[l+i] = true
+			vals[l+i] = vv[pf[i]>>1]
+		}
+	})
+	if v.isLeaf() {
+		return
+	}
+	t.forEachChildRun(pf, func(lo, hi int, child int) {
+		t.getRec(v.children[child], keys, l+lo, l+hi, vals, found)
+	})
+}
+
 // findPositions locates each key of keys[l:r) in v.rep and packs the
 // result into pf: pf[i] = pos<<1 | found, where pos is the lower-bound
 // position of keys[l+i] (which doubles as the child index to descend
 // into when the key is absent from rep, §3.3).
-func (t *Tree[K]) findPositions(v *node[K], keys []K, l, r int, pf []int32) {
+func (t *Tree[K, V]) findPositions(v *node[K, V], keys []K, l, r int, pf []int32) {
 	if t.cfg.Traverse == TraverseRank {
 		// §4.1: one merge-based Rank of the whole sub-batch against
 		// rep. ranks[i] = #elements of rep <= key.
@@ -96,7 +139,7 @@ func (t *Tree[K]) findPositions(v *node[K], keys []K, l, r int, pf []int32) {
 // Because keys are sorted, pf is non-decreasing, every pf value forms
 // one contiguous run, and distinct absent runs map to distinct
 // children, so parallel invocations of fn touch disjoint children.
-func (t *Tree[K]) forEachChildRun(pf []int32, fn func(lo, hi int, child int)) {
+func (t *Tree[K, V]) forEachChildRun(pf []int32, fn func(lo, hi int, child int)) {
 	starts := parallel.FilterIndices(t.pool, len(pf), func(i int) bool {
 		return i == 0 || pf[i] != pf[i-1]
 	})

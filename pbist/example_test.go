@@ -41,6 +41,42 @@ func ExampleTree_Intersection() {
 	// [3 9]
 }
 
+func ExampleTree_Difference() {
+	// Difference is RemoveBatch without the mutation: A \ B.
+	a := pbist.NewFromKeys(pbist.Options{Workers: 2}, []int64{1, 3, 5, 7, 9})
+	fmt.Println(a.Difference([]int64{9, 4, 3, 10}))
+	fmt.Println(a.Len()) // the set itself is untouched
+	// Output:
+	// [1 5 7]
+	// 5
+}
+
+func ExampleMap_GetBatch() {
+	// A Map runs the same batched machinery with a value per key.
+	m := pbist.NewMap[int64, string](pbist.Options{Workers: 2})
+	m.PutBatch(
+		[]int64{30, 10, 20, 10},               // unsorted, duplicated: fine
+		[]string{"cam", "ada", "bob", "ada2"}, // last occurrence of 10 wins
+	)
+	vals, found := m.GetBatch([]int64{10, 15, 20})
+	fmt.Println(vals)
+	fmt.Println(found)
+	// Output:
+	// [ada2  bob]
+	// [true false true]
+}
+
+func ExampleMap_Ascend() {
+	m := pbist.NewMapFromItems(pbist.Options{Workers: 2},
+		[]int64{40, 10, 30, 20}, []string{"d", "a", "c", "b"})
+	for k, v := range m.Ascend(15, 35) {
+		fmt.Println(k, v)
+	}
+	// Output:
+	// 20 b
+	// 30 c
+}
+
 func ExampleTree_Stats() {
 	keys := make([]int64, 1000)
 	for i := range keys {

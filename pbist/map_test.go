@@ -1,0 +1,238 @@
+package pbist
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+func TestMapBasicOps(t *testing.T) {
+	m := NewMap[int64, string](Options{Workers: 2})
+	if !m.Put(10, "ten") || m.Put(10, "TEN") {
+		t.Fatal("Put new/overwrite semantics wrong")
+	}
+	if v, ok := m.Get(10); !ok || v != "TEN" {
+		t.Fatalf("Get(10) = (%q, %v)", v, ok)
+	}
+	if _, ok := m.Get(11); ok {
+		t.Fatal("Get(11) found a phantom key")
+	}
+	if !m.Contains(10) || m.Contains(11) {
+		t.Fatal("Contains wrong")
+	}
+	if !m.Delete(10) || m.Delete(10) {
+		t.Fatal("Delete semantics wrong")
+	}
+	if m.Len() != 0 {
+		t.Fatal("map not empty after delete")
+	}
+}
+
+func TestMapPutBatchLastWins(t *testing.T) {
+	m := NewMap[int64, int](Options{Workers: 4})
+	// Key 7 appears three times: the last value (30) must win, and it
+	// counts as one insertion.
+	n := m.PutBatch([]int64{7, 3, 7, 9, 7}, []int{10, 1, 20, 2, 30})
+	if n != 3 {
+		t.Fatalf("PutBatch inserted %d, want 3", n)
+	}
+	if v, _ := m.Get(7); v != 30 {
+		t.Fatalf("Get(7) = %d, want 30 (last occurrence)", v)
+	}
+	// Overwriting existing keys reports zero new.
+	if n := m.PutBatch([]int64{9, 3}, []int{22, 11}); n != 0 {
+		t.Fatalf("overwrite PutBatch = %d, want 0", n)
+	}
+	if v, _ := m.Get(9); v != 22 {
+		t.Fatalf("Get(9) = %d after overwrite", v)
+	}
+	keys, vals := m.Items()
+	if !slices.Equal(keys, []int64{3, 7, 9}) || !slices.Equal(vals, []int{11, 30, 22}) {
+		t.Fatalf("Items = %v / %v", keys, vals)
+	}
+}
+
+func TestMapGetBatchPreservesInputOrder(t *testing.T) {
+	m := NewMapFromItems(Options{Workers: 4},
+		[]int64{2, 4, 6, 8}, []string{"b", "d", "f", "h"})
+	in := []int64{9, 2, 2, 5, 8}
+	vals, found := m.GetBatch(in)
+	wantV := []string{"", "b", "b", "", "h"}
+	wantF := []bool{false, true, true, false, true}
+	if !slices.Equal(vals, wantV) || !slices.Equal(found, wantF) {
+		t.Fatalf("GetBatch(%v) = %v %v", in, vals, found)
+	}
+	if vals, found := m.GetBatch(nil); vals != nil || found != nil {
+		t.Fatal("GetBatch(nil) should be nil, nil")
+	}
+}
+
+func TestNewMapFromItemsUnsortedLastWins(t *testing.T) {
+	m := NewMapFromItems(Options{Workers: 2},
+		[]int64{5, 1, 5, 3, 1}, []string{"e1", "a1", "e2", "c", "a2"})
+	keys, vals := m.Items()
+	if !slices.Equal(keys, []int64{1, 3, 5}) {
+		t.Fatalf("keys = %v", keys)
+	}
+	if !slices.Equal(vals, []string{"a2", "c", "e2"}) {
+		t.Fatalf("vals = %v: duplicate keys must resolve to the last occurrence", vals)
+	}
+}
+
+func TestMapOrderedQueries(t *testing.T) {
+	keys := []int64{10, 20, 30, 40, 50}
+	vals := []string{"a", "b", "c", "d", "e"}
+	m := NewMapFromItems(Options{Workers: 2, LeafCap: 2}, keys, vals)
+	if k, v, ok := m.Min(); !ok || k != 10 || v != "a" {
+		t.Fatalf("Min = (%d, %q, %v)", k, v, ok)
+	}
+	if k, v, ok := m.Max(); !ok || k != 50 || v != "e" {
+		t.Fatalf("Max = (%d, %q, %v)", k, v, ok)
+	}
+	if k, v, ok := m.Select(2); !ok || k != 30 || v != "c" {
+		t.Fatalf("Select(2) = (%d, %q, %v)", k, v, ok)
+	}
+	rk, rv := m.Range(15, 45)
+	if !slices.Equal(rk, []int64{20, 30, 40}) || !slices.Equal(rv, []string{"b", "c", "d"}) {
+		t.Fatalf("Range = %v / %v", rk, rv)
+	}
+	if m.CountRange(15, 45) != 3 || m.RankOf(30) != 2 {
+		t.Fatal("CountRange/RankOf wrong")
+	}
+}
+
+func TestMapIteration(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	keys := distinct(r, 3000, 1<<30)
+	vals := make([]int64, len(keys))
+	for i, k := range keys {
+		vals[i] = -k
+	}
+	m := NewMapFromItems(Options{Workers: 4, AssumeSorted: true}, keys, vals)
+
+	var gotK []int64
+	for k, v := range m.All() {
+		if v != -k {
+			t.Fatalf("All: value misaligned at key %d", k)
+		}
+		gotK = append(gotK, k)
+	}
+	if !slices.Equal(gotK, keys) {
+		t.Fatal("All does not visit all keys in order")
+	}
+
+	lo, hi := keys[500], keys[2500]
+	wantK, _ := m.Range(lo, hi)
+	gotK = gotK[:0]
+	for k := range m.Ascend(lo, hi) {
+		gotK = append(gotK, k)
+	}
+	if !slices.Equal(gotK, wantK) {
+		t.Fatal("Ascend disagrees with Range")
+	}
+
+	// Early break must not visit further pairs.
+	n := 0
+	for range m.All() {
+		if n++; n == 5 {
+			break
+		}
+	}
+	if n != 5 {
+		t.Fatalf("early break visited %d", n)
+	}
+}
+
+func TestMapSharedViewControls(t *testing.T) {
+	m := NewMapFromItems(Options{Workers: 1}, []int64{1, 2, 3}, []int{1, 2, 3})
+	m.SetWorkers(8)
+	if m.Workers() != 8 {
+		t.Fatalf("Workers = %d", m.Workers())
+	}
+	m.PutBatch([]int64{4, 5}, []int{4, 5})
+	if m.Len() != 5 {
+		t.Fatal("map broken after SetWorkers")
+	}
+	s := m.Stats()
+	if s.LiveKeys != 5 || s.Height == 0 {
+		t.Fatalf("Stats = %+v", s)
+	}
+	if s.Height != m.Height() {
+		t.Fatal("Stats.Height and Height() disagree")
+	}
+	if !slices.Equal(m.Keys(), []int64{1, 2, 3, 4, 5}) {
+		t.Fatalf("Keys = %v", m.Keys())
+	}
+	hits := m.ContainsBatch([]int64{5, 0, 1})
+	if !slices.Equal(hits, []bool{true, false, true}) {
+		t.Fatalf("ContainsBatch = %v", hits)
+	}
+}
+
+func TestMapEmptyBatches(t *testing.T) {
+	m := NewMap[int64, int](Options{})
+	if m.PutBatch(nil, nil) != 0 || m.DeleteBatch(nil) != 0 {
+		t.Fatal("empty batches should be no-ops")
+	}
+	if _, _, ok := m.Min(); ok {
+		t.Fatal("Min on empty map")
+	}
+	if _, _, ok := m.Select(0); ok {
+		t.Fatal("Select on empty map")
+	}
+}
+
+func TestMapPutBatchLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PutBatch with mismatched lengths must panic")
+		}
+	}()
+	NewMap[int64, int](Options{}).PutBatch([]int64{1}, nil)
+}
+
+// TestNewFromKeysDoesNotRetainInput is the regression test for the
+// NewFromKeys doc contract: the already-sorted fast path of normalize
+// hands the caller's slice straight to the bulk loader, which must
+// copy every key into node-local arrays rather than alias the input.
+func TestNewFromKeysDoesNotRetainInput(t *testing.T) {
+	run := func(name string, opts Options) {
+		t.Run(name, func(t *testing.T) {
+			in := []int64{1, 3, 5, 7, 9, 11, 13, 15, 17, 19}
+			want := slices.Clone(in)
+			tr := NewFromKeys(opts, in)
+			for i := range in {
+				in[i] = -1000 - int64(i) // scribble over the input
+			}
+			if !slices.Equal(tr.Keys(), want) {
+				t.Fatalf("Keys() = %v after input mutation, want %v", tr.Keys(), want)
+			}
+			for _, k := range want {
+				if !tr.Contains(k) {
+					t.Fatalf("key %d lost after input mutation", k)
+				}
+			}
+		})
+	}
+	// Both aliasing-prone paths: detected-sorted and promised-sorted.
+	run("sortedFastPath", Options{Workers: 2, LeafCap: 4})
+	run("assumeSorted", Options{Workers: 2, LeafCap: 4, AssumeSorted: true})
+}
+
+// TestNewMapFromItemsDoesNotRetainInput is the same regression for the
+// map view, covering the value slice as well.
+func TestNewMapFromItemsDoesNotRetainInput(t *testing.T) {
+	keys := []int64{2, 4, 6, 8, 10, 12}
+	vals := []string{"b", "d", "f", "h", "j", "l"}
+	wantK := slices.Clone(keys)
+	wantV := slices.Clone(vals)
+	m := NewMapFromItems(Options{Workers: 2, LeafCap: 2, AssumeSorted: true}, keys, vals)
+	for i := range keys {
+		keys[i] = -int64(i)
+		vals[i] = "scribbled"
+	}
+	gotK, gotV := m.Items()
+	if !slices.Equal(gotK, wantK) || !slices.Equal(gotV, wantV) {
+		t.Fatalf("Items = %v / %v after input mutation", gotK, gotV)
+	}
+}

@@ -1,33 +1,50 @@
-// Package pbist provides a sorted set of numeric keys backed by a
-// Parallel-Batched Interpolation Search Tree, the data structure of
-// "Parallel-batched Interpolation Search Tree" (Aksenov, Kokorin,
-// Martsenyuk; PACT 2023).
+// Package pbist provides a sorted set and a sorted map of numeric
+// keys backed by a Parallel-Batched Interpolation Search Tree, the
+// data structure of "Parallel-batched Interpolation Search Tree"
+// (Aksenov, Kokorin, Martsenyuk; PACT 2023).
 //
-// A Tree serves single-key operations (Contains, Insert, Remove) and —
-// its reason to exist — batched operations that process many keys in
-// one parallel pass:
+// Two views share one engine:
+//
+//   - Tree[K] is the sorted set: single-key operations (Contains,
+//     Insert, Remove), batched operations (ContainsBatch, InsertBatch,
+//     RemoveBatch), and set algebra (Intersection, Difference).
+//   - Map[K, V] is the sorted map: the same batched machinery carrying
+//     a value with every key (Get/GetBatch, Put/PutBatch,
+//     Delete/DeleteBatch) plus ordered iteration (All, Ascend) and
+//     value-carrying Min/Max/Select/Range.
+//
+// Both run every batch through the same parallel-batched traversal:
 //
 //	t := pbist.New[int64](pbist.Options{})
 //	t.InsertBatch(ids)                // A ← A ∪ ids
 //	hits := t.ContainsBatch(queries)  // membership vector
 //	t.RemoveBatch(expired)            // A ← A \ expired
 //
+//	m := pbist.NewMap[int64, string](pbist.Options{})
+//	m.PutBatch(ids, names)            // upsert, last occurrence wins
+//	names, ok := m.GetBatch(queries)  // values + found vector
+//	for id, name := range m.Ascend(lo, hi) { ... }
+//
 // When keys are drawn from a smooth distribution (uniform, for
 // example), a batch of m operations against n stored keys costs
 // expected O(m·log log n) work — asymptotically better than the
 // O(m·log n) of balanced binary trees — and polylogarithmic span, so
-// throughput scales with cores.
+// throughput scales with cores. The set view is the V = struct{}
+// instantiation of the same core tree, so it pays nothing for the
+// value plumbing.
 //
 // Batched methods accept arbitrary key slices: unsorted input is
 // sorted and duplicated keys are coalesced internally (ContainsBatch
-// still answers positionally for every input element). Callers that
-// can guarantee sorted duplicate-free batches set Options.AssumeSorted
-// to skip normalization. A Tree is not safe for concurrent use: the
-// parallel-batched model runs one batch at a time and parallelizes
-// inside the batch.
+// and GetBatch still answer positionally for every input element, and
+// PutBatch resolves duplicate keys in one batch to the last
+// occurrence). Callers that can guarantee sorted duplicate-free
+// batches set Options.AssumeSorted to skip normalization. Neither
+// view is safe for concurrent use: the parallel-batched model runs
+// one batch at a time and parallelizes inside the batch.
 package pbist
 
 import (
+	"iter"
 	"runtime"
 	"slices"
 
@@ -44,7 +61,8 @@ type Key interface {
 		~float32 | ~float64
 }
 
-// Options configures a Tree. The zero value gives sensible defaults.
+// Options configures a Tree or a Map. The zero value gives sensible
+// defaults; the same Options value works for both views.
 type Options struct {
 	// Workers bounds the parallelism of batched operations. 0 selects
 	// GOMAXPROCS; 1 makes every operation sequential.
@@ -90,170 +108,72 @@ func (o Options) pool() *parallel.Pool {
 	return parallel.NewPool(w)
 }
 
-// Tree is a parallel-batched interpolation search tree over keys of
-// type K. Create one with New or NewFromKeys.
-type Tree[K Key] struct {
-	t            *core.Tree[K]
+// view is the shared half of both public types: the core tree, its
+// pool, and the normalization policy. Tree and Map embed it, so
+// configuration, statistics, worker control, and the key-only queries
+// exist once rather than per view.
+type view[K Key, V any] struct {
+	t            *core.Tree[K, V]
 	pool         *parallel.Pool
 	assumeSorted bool
 }
 
-// New returns an empty tree.
-func New[K Key](opts Options) *Tree[K] {
-	p := opts.pool()
-	return &Tree[K]{
-		t:            core.New[K](opts.coreConfig(), p),
-		pool:         p,
-		assumeSorted: opts.AssumeSorted,
-	}
-}
+// Len reports the number of keys stored.
+func (vw *view[K, V]) Len() int { return vw.t.Len() }
 
-// NewFromKeys returns a tree containing keys, bulk-loaded in O(n) work
-// into an ideally balanced shape. The input slice is not retained and
-// need not be sorted (unless Options.AssumeSorted, in which case it
-// must be sorted and duplicate-free).
-func NewFromKeys[K Key](opts Options, keys []K) *Tree[K] {
-	p := opts.pool()
-	tr := &Tree[K]{pool: p, assumeSorted: opts.AssumeSorted}
-	tr.t = core.NewFromSorted(opts.coreConfig(), p, tr.normalize(keys))
-	return tr
-}
-
-// normalize returns keys as a sorted duplicate-free slice, copying
-// when mutation would be observable by the caller.
-func (tr *Tree[K]) normalize(keys []K) []K {
-	if tr.assumeSorted || isSortedUnique(keys) {
-		return keys
-	}
-	cp := slices.Clone(keys)
-	return parallel.SortedDedup(tr.pool, cp)
-}
-
-func isSortedUnique[K Key](keys []K) bool {
-	for i := 1; i < len(keys); i++ {
-		if keys[i] <= keys[i-1] {
-			return false
-		}
-	}
-	return true
-}
-
-// Len reports the number of keys in the set.
-func (tr *Tree[K]) Len() int { return tr.t.Len() }
-
-// Contains reports whether key is in the set.
-func (tr *Tree[K]) Contains(key K) bool { return tr.t.Contains(key) }
-
-// Insert adds key, reporting whether it was absent.
-func (tr *Tree[K]) Insert(key K) bool { return tr.t.Insert(key) }
-
-// Remove deletes key, reporting whether it was present.
-func (tr *Tree[K]) Remove(key K) bool { return tr.t.Remove(key) }
+// Contains reports whether key is present.
+func (vw *view[K, V]) Contains(key K) bool { return vw.t.Contains(key) }
 
 // Keys returns the keys in ascending order.
-func (tr *Tree[K]) Keys() []K { return tr.t.Keys() }
+func (vw *view[K, V]) Keys() []K { return vw.t.Keys() }
 
 // ContainsBatch reports membership for every element of keys:
 // result[i] corresponds to keys[i], whatever the input order, and
 // duplicate inputs each receive their (identical) answer.
-func (tr *Tree[K]) ContainsBatch(keys []K) []bool {
+func (vw *view[K, V]) ContainsBatch(keys []K) []bool {
 	if len(keys) == 0 {
 		return nil
 	}
-	if tr.assumeSorted || isSortedUnique(keys) {
-		return tr.t.ContainsBatched(keys)
+	if vw.assumeSorted || isSortedUnique(keys) {
+		return vw.t.ContainsBatched(keys)
 	}
 	// Query the sorted unique view, then scatter answers back to the
 	// caller's positions.
-	sorted := parallel.SortedDedup(tr.pool, slices.Clone(keys))
-	hits := tr.t.ContainsBatched(sorted)
+	sorted := parallel.SortedDedup(vw.pool, slices.Clone(keys))
+	hits := vw.t.ContainsBatched(sorted)
 	out := make([]bool, len(keys))
-	parallel.For(tr.pool, len(keys), 0, func(i int) {
+	parallel.For(vw.pool, len(keys), 0, func(i int) {
 		j, _ := slices.BinarySearch(sorted, keys[i])
 		out[i] = hits[j]
 	})
 	return out
 }
 
-// InsertBatch adds every element of keys, returning how many were
-// actually new. It computes the set union A ← A ∪ keys.
-func (tr *Tree[K]) InsertBatch(keys []K) int {
-	if len(keys) == 0 {
-		return 0
-	}
-	return tr.t.InsertBatched(tr.normalize(keys))
-}
-
-// RemoveBatch deletes every element of keys, returning how many were
-// actually present. It computes the set difference A ← A \ keys.
-func (tr *Tree[K]) RemoveBatch(keys []K) int {
-	if len(keys) == 0 {
-		return 0
-	}
-	return tr.t.RemoveBatched(tr.normalize(keys))
-}
-
-// Intersection returns the elements of keys that are present in the
-// set, sorted and duplicate-free: A ∩ keys. The set is not modified.
-func (tr *Tree[K]) Intersection(keys []K) []K {
-	if len(keys) == 0 {
-		return nil
-	}
-	norm := tr.normalize(keys)
-	hits := tr.t.ContainsBatched(norm)
-	return parallel.FilterIndex(tr.pool, norm, func(i int) bool { return hits[i] })
-}
-
-// Min returns the smallest key in the set; ok is false when empty.
-func (tr *Tree[K]) Min() (key K, ok bool) { return tr.t.Min() }
-
-// Max returns the largest key in the set; ok is false when empty.
-func (tr *Tree[K]) Max() (key K, ok bool) { return tr.t.Max() }
-
-// Range returns the keys in [lo, hi], ascending.
-func (tr *Tree[K]) Range(lo, hi K) []K { return tr.t.Range(lo, hi) }
-
 // CountRange reports how many keys lie in [lo, hi] without
 // materializing them.
-func (tr *Tree[K]) CountRange(lo, hi K) int { return tr.t.CountRange(lo, hi) }
-
-// Select returns the idx-th smallest key (0-based); ok is false when
-// idx is out of range.
-func (tr *Tree[K]) Select(idx int) (key K, ok bool) { return tr.t.Select(idx) }
+func (vw *view[K, V]) CountRange(lo, hi K) int { return vw.t.CountRange(lo, hi) }
 
 // RankOf reports the number of keys strictly less than key.
-func (tr *Tree[K]) RankOf(key K) int { return tr.t.RankOf(key) }
+func (vw *view[K, V]) RankOf(key K) int { return vw.t.RankOf(key) }
 
 // Workers reports the parallelism bound of batched operations.
-func (tr *Tree[K]) Workers() int { return tr.pool.Workers() }
+func (vw *view[K, V]) Workers() int { return vw.pool.Workers() }
 
-// SetWorkers rebinds the tree to a pool of n workers (0 selects
+// SetWorkers rebinds the view to a pool of n workers (0 selects
 // GOMAXPROCS). Existing contents are untouched; only subsequent
 // operations are affected.
-func (tr *Tree[K]) SetWorkers(n int) {
+func (vw *view[K, V]) SetWorkers(n int) {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	tr.pool = parallel.NewPool(n)
-	tr.t.SetPool(tr.pool)
-}
-
-// Stats summarizes the structure of a tree.
-type Stats struct {
-	LiveKeys   int // keys logically in the set
-	DeadKeys   int // logically removed keys awaiting a rebuild
-	Nodes      int // total nodes, leaves included
-	Leaves     int // leaf nodes
-	Height     int // nodes on the longest root-to-leaf path; 0 when empty
-	RootRepLen int // length of the root's Rep array (Θ(√n) when balanced)
-	MaxLeafLen int // longest leaf array
-	IndexBytes int // memory held by interpolation indexes
+	vw.pool = parallel.NewPool(n)
+	vw.t.SetPool(vw.pool)
 }
 
 // Stats reports structural statistics (shape, balance, and memory of
 // the interpolation indexes).
-func (tr *Tree[K]) Stats() Stats {
-	s := tr.t.Stats()
+func (vw *view[K, V]) Stats() Stats {
+	s := vw.t.Stats()
 	return Stats{
 		LiveKeys:   s.LiveKeys,
 		DeadKeys:   s.DeadKeys,
@@ -268,4 +188,174 @@ func (tr *Tree[K]) Stats() Stats {
 
 // Height reports the number of nodes on the longest root-to-leaf
 // path. For an ideally balanced tree of n keys this is O(log log n).
-func (tr *Tree[K]) Height() int { return tr.t.Height() }
+func (vw *view[K, V]) Height() int { return vw.t.Height() }
+
+// normalize returns keys as a sorted duplicate-free slice, copying
+// when mutation would be observable by the caller. When the input is
+// already sorted (or promised so via AssumeSorted), the caller's
+// slice is passed through as-is — safe because no core operation
+// retains a batch slice: bulk loads copy keys into fresh node arrays,
+// and batched updates merge into freshly allocated leaf arrays.
+func (vw *view[K, V]) normalize(keys []K) []K {
+	if vw.assumeSorted || isSortedUnique(keys) {
+		return keys
+	}
+	cp := slices.Clone(keys)
+	return parallel.SortedDedup(vw.pool, cp)
+}
+
+// removeBatch deletes every element of keys, returning how many were
+// actually present. Tree.RemoveBatch and Map.DeleteBatch are its
+// public names.
+func (vw *view[K, V]) removeBatch(keys []K) int {
+	if len(keys) == 0 {
+		return 0
+	}
+	return vw.t.RemoveBatched(vw.normalize(keys))
+}
+
+func isSortedUnique[K Key](keys []K) bool {
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// Tree is the set view: a parallel-batched interpolation search tree
+// over keys of type K, without values. Create one with New or
+// NewFromKeys.
+type Tree[K Key] struct {
+	view[K, struct{}]
+}
+
+// New returns an empty set.
+func New[K Key](opts Options) *Tree[K] {
+	p := opts.pool()
+	tr := &Tree[K]{}
+	tr.t = core.New[K, struct{}](opts.coreConfig(), p)
+	tr.pool = p
+	tr.assumeSorted = opts.AssumeSorted
+	return tr
+}
+
+// NewFromKeys returns a set containing keys, bulk-loaded in O(n) work
+// into an ideally balanced shape. The input slice is not retained —
+// even on the already-sorted (or AssumeSorted) fast path, which hands
+// the slice to the bulk loader without copying first, construction
+// copies every key into fresh node-local arrays — and it need not be
+// sorted (unless Options.AssumeSorted, in which case it must be
+// sorted and duplicate-free).
+func NewFromKeys[K Key](opts Options, keys []K) *Tree[K] {
+	p := opts.pool()
+	tr := &Tree[K]{}
+	tr.pool = p
+	tr.assumeSorted = opts.AssumeSorted
+	tr.t = core.NewFromSorted(opts.coreConfig(), p, tr.normalize(keys))
+	return tr
+}
+
+// Insert adds key, reporting whether it was absent.
+func (tr *Tree[K]) Insert(key K) bool { return tr.t.Insert(key) }
+
+// Remove deletes key, reporting whether it was present.
+func (tr *Tree[K]) Remove(key K) bool { return tr.t.Remove(key) }
+
+// InsertBatch adds every element of keys, returning how many were
+// actually new. It computes the set union A ← A ∪ keys.
+func (tr *Tree[K]) InsertBatch(keys []K) int {
+	if len(keys) == 0 {
+		return 0
+	}
+	return tr.t.InsertBatched(tr.normalize(keys))
+}
+
+// RemoveBatch deletes every element of keys, returning how many were
+// actually present. It computes the set difference A ← A \ keys.
+func (tr *Tree[K]) RemoveBatch(keys []K) int { return tr.removeBatch(keys) }
+
+// Intersection returns the elements of keys that are present in the
+// set, sorted and duplicate-free: A ∩ keys. The set is not modified.
+func (tr *Tree[K]) Intersection(keys []K) []K {
+	if len(keys) == 0 {
+		return nil
+	}
+	norm := tr.normalize(keys)
+	hits := tr.t.ContainsBatched(norm)
+	return parallel.FilterIndex(tr.pool, norm, func(i int) bool { return hits[i] })
+}
+
+// Difference returns the elements of the set that do not occur in
+// keys, sorted: A \ keys. It is RemoveBatch without the mutation (and
+// Intersection's complement on the set side): the batch is resolved
+// with the same ContainsBatched + FilterIndex pass, and the surviving
+// present keys are subtracted from the flattened set. The set is not
+// modified.
+func (tr *Tree[K]) Difference(keys []K) []K {
+	if len(keys) == 0 || tr.Len() == 0 {
+		return tr.Keys()
+	}
+	// Subtracting A ∩ keys rather than the raw batch deliberately
+	// routes through Intersection's ContainsBatched + FilterIndex
+	// pass: both set-algebra queries then share one normalization and
+	// batch-resolution policy (a subtraction over the normalized batch
+	// alone would also be correct, and skips the batched traversal).
+	return parallel.Difference(tr.pool, tr.Keys(), tr.Intersection(keys))
+}
+
+// Min returns the smallest key in the set; ok is false when empty.
+func (tr *Tree[K]) Min() (key K, ok bool) {
+	key, _, ok = tr.t.Min()
+	return key, ok
+}
+
+// Max returns the largest key in the set; ok is false when empty.
+func (tr *Tree[K]) Max() (key K, ok bool) {
+	key, _, ok = tr.t.Max()
+	return key, ok
+}
+
+// Range returns the keys in [lo, hi], ascending.
+func (tr *Tree[K]) Range(lo, hi K) []K { return tr.t.Range(lo, hi) }
+
+// Select returns the idx-th smallest key (0-based); ok is false when
+// idx is out of range.
+func (tr *Tree[K]) Select(idx int) (key K, ok bool) {
+	key, _, ok = tr.t.Select(idx)
+	return key, ok
+}
+
+// All returns an in-order iterator over the keys of the set.
+func (tr *Tree[K]) All() iter.Seq[K] {
+	return func(yield func(K) bool) {
+		for k := range tr.t.All() {
+			if !yield(k) {
+				return
+			}
+		}
+	}
+}
+
+// Ascend returns an in-order iterator over the keys in [lo, hi].
+func (tr *Tree[K]) Ascend(lo, hi K) iter.Seq[K] {
+	return func(yield func(K) bool) {
+		for k := range tr.t.Ascend(lo, hi) {
+			if !yield(k) {
+				return
+			}
+		}
+	}
+}
+
+// Stats summarizes the structure of a Tree or Map.
+type Stats struct {
+	LiveKeys   int // keys logically stored
+	DeadKeys   int // logically removed keys awaiting a rebuild
+	Nodes      int // total nodes, leaves included
+	Leaves     int // leaf nodes
+	Height     int // nodes on the longest root-to-leaf path; 0 when empty
+	RootRepLen int // length of the root's Rep array (Θ(√n) when balanced)
+	MaxLeafLen int // longest leaf array
+	IndexBytes int // memory held by interpolation indexes
+}

@@ -92,6 +92,57 @@ func TestIntersection(t *testing.T) {
 	}
 }
 
+func TestDifference(t *testing.T) {
+	tr := NewFromKeys(Options{Workers: 2}, []int64{1, 3, 5, 7, 9})
+	got := tr.Difference([]int64{9, 4, 3, 3, 10})
+	if !slices.Equal(got, []int64{1, 5, 7}) {
+		t.Fatalf("Difference = %v, want [1 5 7]", got)
+	}
+	if tr.Len() != 5 {
+		t.Fatal("Difference modified the set")
+	}
+	if got := tr.Difference(nil); !slices.Equal(got, []int64{1, 3, 5, 7, 9}) {
+		t.Fatalf("Difference(nil) = %v, want the whole set", got)
+	}
+	// Intersection and Difference partition the set for any batch.
+	batch := []int64{2, 3, 7, 8}
+	inter := tr.Intersection(batch)
+	diff := tr.Difference(batch)
+	if len(inter)+len(diff) != tr.Len() {
+		t.Fatalf("|A∩B| + |A\\B| = %d + %d != |A| = %d", len(inter), len(diff), tr.Len())
+	}
+	if empty := New[int64](Options{}); len(empty.Difference(batch)) != 0 {
+		t.Fatal("Difference on empty set must be empty")
+	}
+}
+
+func TestSetIterators(t *testing.T) {
+	tr := NewFromKeys(Options{Workers: 2, LeafCap: 4}, []int64{5, 1, 9, 3, 7})
+	var got []int64
+	for k := range tr.All() {
+		got = append(got, k)
+	}
+	if !slices.Equal(got, []int64{1, 3, 5, 7, 9}) {
+		t.Fatalf("All = %v", got)
+	}
+	got = got[:0]
+	for k := range tr.Ascend(3, 7) {
+		got = append(got, k)
+	}
+	if !slices.Equal(got, []int64{3, 5, 7}) {
+		t.Fatalf("Ascend(3,7) = %v", got)
+	}
+	n := 0
+	for range tr.All() {
+		if n++; n == 2 {
+			break
+		}
+	}
+	if n != 2 {
+		t.Fatalf("early break visited %d keys", n)
+	}
+}
+
 func TestScalarOps(t *testing.T) {
 	tr := New[int](Options{Workers: 1})
 	if !tr.Insert(10) || tr.Insert(10) {
