@@ -347,6 +347,36 @@ func BenchmarkMapGetBatch(b *testing.B) {
 	}
 }
 
+// Concurrent combining frontend: point-op throughput when many
+// client goroutines share one engine through pbist.Concurrent. Each
+// b.N iteration is one Get per client, all clients in flight at once,
+// so the combiner coalesces ≈clients ops per epoch.
+func BenchmarkConcurrentGet(b *testing.B) {
+	base, _ := fixtures()
+	baseVals := bench.MapPayloads(base)
+	for _, clients := range []int{1, 8, 64} {
+		b.Run("clients_"+itoa(clients), func(b *testing.B) {
+			c := pbist.NewConcurrentFromItems(
+				pbist.ConcurrentOptions{Options: pbist.Options{AssumeSorted: true}},
+				base, baseVals)
+			defer c.Close()
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for g := 0; g < clients; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < b.N; i++ {
+						c.Get(base[(g*1_000_003+i)%len(base)])
+					}
+				}(g)
+			}
+			wg.Wait()
+			reportKeysPerSec(b, clients)
+		})
+	}
+}
+
 // Bulk-load throughput: the §7.3 parallel ideal build.
 func BenchmarkBuildIdeal(b *testing.B) {
 	base, _ := fixtures()

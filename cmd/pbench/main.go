@@ -1,6 +1,7 @@
 // Command pbench regenerates the paper's evaluation (§9): the three
 // Fig. 17 scaling curves, the sequential IST-versus-red-black-tree
-// comparison, and the ablations documented in DESIGN.md.
+// comparison, the concurrent-clients frontend experiment, and the
+// ablations documented in DESIGN.md.
 //
 // Examples:
 //
@@ -8,18 +9,20 @@
 //	pbench -experiment fig17 -dist zipf
 //	pbench -experiment fig17 -dist clustered -clusters 128
 //	pbench -experiment map -workers 1,4,8
+//	pbench -experiment concurrent -clients 1,4,16,64
 //	pbench -experiment seqcmp -reps 5
 //	pbench -experiment traverse
 //	pbench -experiment rebuildc -rounds 6
 //	pbench -experiment treap -workers 8
 //	pbench -experiment all -csv
+//	pbench -experiment all -json > BENCH_all.json
 package main
 
 import (
 	"flag"
 	"fmt"
-	"io"
 	"os"
+	"slices"
 	"strconv"
 	"strings"
 
@@ -28,16 +31,27 @@ import (
 	"repro/internal/dist"
 )
 
+// experimentOrder lists every runnable experiment in the order
+// -experiment all executes them. Unknown names are rejected against
+// this table before any setup work happens.
+var experimentOrder = []string{
+	"fig17", "map", "concurrent", "seqcmp", "traverse", "rebuildc", "treap",
+	"leafcap", "indexfactor", "batchsize",
+}
+
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig17 | map | seqcmp | traverse | rebuildc | treap | leafcap | indexfactor | batchsize | all")
+		experiment = flag.String("experiment", "all",
+			strings.Join(experimentOrder, " | ")+" | all")
 		n          = flag.Int("n", 4_000_000, "target tree size (paper: 1e8)")
 		m          = flag.Int("m", 1_000_000, "batch size (paper: 1e7)")
 		seed       = flag.Uint64("seed", 0x5eed, "workload seed")
 		workersCSV = flag.String("workers", "1,2,4,8,16", "worker counts for fig17 (comma separated); the last entry is the worker count of the single-point experiments (traverse, treap, sweeps)")
+		clientsCSV = flag.String("clients", "1,4,16,64", "client-goroutine counts for the concurrent experiment (comma separated)")
 		reps       = flag.Int("reps", 3, "repetitions per measurement (paper: 10)")
 		rounds     = flag.Int("rounds", 4, "churn rounds for the rebuildc ablation")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonOut    = flag.Bool("json", false, "emit one machine-readable JSON array with every experiment's series")
 		distName   = flag.String("dist", "",
 			"batch distribution (empty = uniform, or clustered when -clusters is set):\n"+dist.Describe())
 		clusters = flag.Int("clusters", 0,
@@ -45,64 +59,91 @@ func main() {
 	)
 	flag.Parse()
 
-	w := bench.Workload{N: *n, M: *m, Seed: *seed, Dist: *distName, Clusters: *clusters}.WithDefaults()
-	if err := w.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, "pbench:", err)
-		os.Exit(2)
+	if *csv && *jsonOut {
+		fatalUsage("-csv and -json are mutually exclusive")
 	}
-	workers, err := parseWorkers(*workersCSV)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "pbench:", err)
-		os.Exit(2)
-	}
-	emit := bench.WriteTable
-	if *csv {
-		emit = bench.WriteCSV
+	names := []string{*experiment}
+	if *experiment == "all" {
+		names = experimentOrder
+	} else if !slices.Contains(experimentOrder, *experiment) {
+		fatalUsage(fmt.Sprintf("unknown experiment %q (have %s, or all)",
+			*experiment, strings.Join(experimentOrder, ", ")))
 	}
 
-	run := func(name string) error {
+	w := bench.Workload{N: *n, M: *m, Seed: *seed, Dist: *distName, Clusters: *clusters}.WithDefaults()
+	if err := w.Validate(); err != nil {
+		fatalUsage(err.Error())
+	}
+	workers, err := parseCounts(*workersCSV, "worker")
+	if err != nil {
+		fatalUsage(err.Error())
+	}
+	clients, err := parseCounts(*clientsCSV, "client")
+	if err != nil {
+		fatalUsage(err.Error())
+	}
+
+	run := func(name string) ([]string, [][]string) {
 		switch name {
 		case "fig17":
-			return runFig17(w, workers, *reps, emit)
+			return runFig17(w, workers, *reps)
 		case "map":
-			return runMap(w, workers, *reps, emit)
+			return runMap(w, workers, *reps)
+		case "concurrent":
+			return runConcurrent(w, clients, *reps)
 		case "seqcmp":
-			return runSeqCmp(w, *reps, emit)
+			return runSeqCmp(w, *reps)
 		case "traverse":
-			return runTraverse(w, workers[len(workers)-1], *reps, emit)
+			return runTraverse(w, workers[len(workers)-1], *reps)
 		case "rebuildc":
-			return runRebuildC(w, workers[len(workers)-1], *rounds, emit)
+			return runRebuildC(w, workers[len(workers)-1], *rounds)
 		case "treap":
-			return runTreap(w, workers[len(workers)-1], *reps, emit)
+			return runTreap(w, workers[len(workers)-1], *reps)
 		case "leafcap":
-			return runLeafCap(w, workers[len(workers)-1], *reps, emit)
+			return runLeafCap(w, workers[len(workers)-1], *reps)
 		case "indexfactor":
-			return runIndexFactor(w, workers[len(workers)-1], *reps, emit)
+			return runIndexFactor(w, workers[len(workers)-1], *reps)
 		case "batchsize":
-			return runBatchSize(w, workers[len(workers)-1], *reps, emit)
+			return runBatchSize(w, workers[len(workers)-1], *reps)
 		default:
-			return fmt.Errorf("unknown experiment %q", name)
+			panic("unreachable: experiment names are validated above")
 		}
 	}
 
-	names := []string{*experiment}
-	if *experiment == "all" {
-		names = []string{"fig17", "map", "seqcmp", "traverse", "rebuildc", "treap",
-			"leafcap", "indexfactor", "batchsize"}
-	}
+	var series []bench.Series
 	for _, name := range names {
-		fmt.Printf("== %s (n=%d m=%d seed=%#x dist=%s) ==\n", name, w.N, w.M, w.Seed, w.DistName())
-		if err := run(name); err != nil {
+		if !*jsonOut {
+			fmt.Printf("== %s (n=%d m=%d seed=%#x dist=%s) ==\n", name, w.N, w.M, w.Seed, w.DistName())
+		}
+		header, cells := run(name)
+		if *jsonOut {
+			series = append(series, bench.NewSeries(name, w, header, cells))
+			continue
+		}
+		emit := bench.WriteTable
+		if *csv {
+			emit = bench.WriteCSV
+		}
+		if err := emit(os.Stdout, header, cells); err != nil {
 			fmt.Fprintln(os.Stderr, "pbench:", err)
 			os.Exit(1)
 		}
 		fmt.Println()
 	}
+	if *jsonOut {
+		if err := bench.WriteJSON(os.Stdout, series); err != nil {
+			fmt.Fprintln(os.Stderr, "pbench:", err)
+			os.Exit(1)
+		}
+	}
 }
 
-type emitter func(w io.Writer, header []string, rows [][]string) error
+func fatalUsage(msg string) {
+	fmt.Fprintln(os.Stderr, "pbench:", msg)
+	os.Exit(2)
+}
 
-func runFig17(w bench.Workload, workers []int, reps int, emit emitter) error {
+func runFig17(w bench.Workload, workers []int, reps int) ([]string, [][]string) {
 	rows := bench.RunFig17(w, core.Config{}, workers, reps)
 	header := []string{"workers", "contains_ms", "insert_ms", "remove_ms", "speedup_c", "speedup_i", "speedup_r"}
 	cells := make([][]string, 0, len(rows))
@@ -113,10 +154,10 @@ func runFig17(w bench.Workload, workers []int, reps int, emit emitter) error {
 			bench.X(r.SpeedupC), bench.X(r.SpeedupI), bench.X(r.SpeedupR),
 		})
 	}
-	return emit(os.Stdout, header, cells)
+	return header, cells
 }
 
-func runMap(w bench.Workload, workers []int, reps int, emit emitter) error {
+func runMap(w bench.Workload, workers []int, reps int) ([]string, [][]string) {
 	rows := bench.RunMapWorkload(w, workers, reps)
 	header := []string{"workers", "put_ms", "get_ms", "speedup_p", "speedup_g"}
 	cells := make([][]string, 0, len(rows))
@@ -127,10 +168,26 @@ func runMap(w bench.Workload, workers []int, reps int, emit emitter) error {
 			bench.X(r.SpeedupP), bench.X(r.SpeedupG),
 		})
 	}
-	return emit(os.Stdout, header, cells)
+	return header, cells
 }
 
-func runSeqCmp(w bench.Workload, reps int, emit emitter) error {
+func runConcurrent(w bench.Workload, clients []int, reps int) ([]string, [][]string) {
+	rows := bench.RunConcurrentWorkload(w, clients, reps)
+	header := []string{"clients", "combine_mops", "rwmutex_map_mops", "sync_map_mops", "epoch_ops"}
+	cells := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		cells = append(cells, []string{
+			strconv.Itoa(r.Clients),
+			fmt.Sprintf("%.3f", r.CombineMops),
+			fmt.Sprintf("%.3f", r.RWMapMops),
+			fmt.Sprintf("%.3f", r.SyncMapMops),
+			fmt.Sprintf("%.1f", r.EpochOps),
+		})
+	}
+	return header, cells
+}
+
+func runSeqCmp(w bench.Workload, reps int) ([]string, [][]string) {
 	r := bench.RunSeqCompare(w, core.Config{}, reps)
 	header := []string{"structure", "contains_ms", "vs_rbtree"}
 	cells := [][]string{
@@ -139,20 +196,20 @@ func runSeqCmp(w bench.Workload, reps int, emit emitter) error {
 		{"red-black tree", bench.MS(r.RBTreeMS), bench.X(1)},
 		{"skip list", bench.MS(r.SkipListMS), bench.X(safeDiv(r.RBTreeMS, r.SkipListMS))},
 	}
-	return emit(os.Stdout, header, cells)
+	return header, cells
 }
 
-func runTraverse(w bench.Workload, workers, reps int, emit emitter) error {
+func runTraverse(w bench.Workload, workers, reps int) ([]string, [][]string) {
 	rows := bench.RunAblationTraverse(w, workers, reps)
 	header := []string{"distribution", "interpolation_ms", "rank_ms"}
 	cells := make([][]string, 0, len(rows))
 	for _, r := range rows {
 		cells = append(cells, []string{r.Distribution, bench.MS(r.InterpolationMS), bench.MS(r.RankMS)})
 	}
-	return emit(os.Stdout, header, cells)
+	return header, cells
 }
 
-func runRebuildC(w bench.Workload, workers, rounds int, emit emitter) error {
+func runRebuildC(w bench.Workload, workers, rounds int) ([]string, [][]string) {
 	rows := bench.RunAblationRebuildC(w, workers, rounds, []int{1, 2, 4, 8})
 	header := []string{"C", "churn_ms", "final_height", "dead_per_live"}
 	cells := make([][]string, 0, len(rows))
@@ -162,20 +219,20 @@ func runRebuildC(w bench.Workload, workers, rounds int, emit emitter) error {
 			strconv.Itoa(r.FinalHgt), fmt.Sprintf("%.2f", r.DeadRatio),
 		})
 	}
-	return emit(os.Stdout, header, cells)
+	return header, cells
 }
 
-func runTreap(w bench.Workload, workers, reps int, emit emitter) error {
+func runTreap(w bench.Workload, workers, reps int) ([]string, [][]string) {
 	rows := bench.RunBaselineTreap(w, workers, reps)
 	header := []string{"operation", "pb-ist_ms", "treap_ms"}
 	cells := make([][]string, 0, len(rows))
 	for _, r := range rows {
 		cells = append(cells, []string{r.Op, bench.MS(r.ISTMS), bench.MS(r.TreapMS)})
 	}
-	return emit(os.Stdout, header, cells)
+	return header, cells
 }
 
-func runLeafCap(w bench.Workload, workers, reps int, emit emitter) error {
+func runLeafCap(w bench.Workload, workers, reps int) ([]string, [][]string) {
 	rows := bench.RunSweepLeafCap(w, workers, reps, []int{8, 16, 32, 64, 128})
 	header := []string{"H", "contains_ms", "update_ms", "height", "leaves"}
 	cells := make([][]string, 0, len(rows))
@@ -185,10 +242,10 @@ func runLeafCap(w bench.Workload, workers, reps int, emit emitter) error {
 			strconv.Itoa(r.Height), strconv.Itoa(r.Leaves),
 		})
 	}
-	return emit(os.Stdout, header, cells)
+	return header, cells
 }
 
-func runIndexFactor(w bench.Workload, workers, reps int, emit emitter) error {
+func runIndexFactor(w bench.Workload, workers, reps int) ([]string, [][]string) {
 	rows := bench.RunSweepIndexFactor(w, workers, reps, []float64{0.25, 0.5, 1, 2, 4})
 	header := []string{"factor", "contains_ms", "index_mb"}
 	cells := make([][]string, 0, len(rows))
@@ -198,10 +255,10 @@ func runIndexFactor(w bench.Workload, workers, reps int, emit emitter) error {
 			fmt.Sprintf("%.1f", float64(r.IndexBytes)/(1<<20)),
 		})
 	}
-	return emit(os.Stdout, header, cells)
+	return header, cells
 }
 
-func runBatchSize(w bench.Workload, workers, reps int, emit emitter) error {
+func runBatchSize(w bench.Workload, workers, reps int) ([]string, [][]string) {
 	rows := bench.RunSweepBatchSize(w, workers, reps,
 		[]int{1000, 10_000, 100_000, 1_000_000})
 	header := []string{"m", "contains_ms", "ns_per_key"}
@@ -212,21 +269,21 @@ func runBatchSize(w bench.Workload, workers, reps int, emit emitter) error {
 			fmt.Sprintf("%.0f", r.NSPerKey),
 		})
 	}
-	return emit(os.Stdout, header, cells)
+	return header, cells
 }
 
-func parseWorkers(csv string) ([]int, error) {
+func parseCounts(csv, what string) ([]int, error) {
 	parts := strings.Split(csv, ",")
 	out := make([]int, 0, len(parts))
 	for _, p := range parts {
 		v, err := strconv.Atoi(strings.TrimSpace(p))
 		if err != nil || v < 1 {
-			return nil, fmt.Errorf("bad worker count %q", p)
+			return nil, fmt.Errorf("bad %s count %q", what, p)
 		}
 		out = append(out, v)
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("no worker counts given")
+		return nil, fmt.Errorf("no %s counts given", what)
 	}
 	return out, nil
 }

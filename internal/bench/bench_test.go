@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"slices"
 	"strings"
 	"testing"
@@ -219,6 +220,66 @@ func TestRunBaselineTreapShape(t *testing.T) {
 	}
 }
 
+func TestRunConcurrentWorkloadShape(t *testing.T) {
+	rows := RunConcurrentWorkload(tiny(), []int{1, 2}, 1)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	if rows[0].Clients != 1 || rows[1].Clients != 2 {
+		t.Fatal("clients column wrong")
+	}
+	for _, r := range rows {
+		if r.CombineMops <= 0 || r.RWMapMops <= 0 || r.SyncMapMops <= 0 {
+			t.Fatalf("non-positive throughput in %+v", r)
+		}
+		if r.EpochOps <= 0 {
+			t.Fatalf("epoch size not measured in %+v", r)
+		}
+	}
+}
+
+func TestConcurrentScriptsDeterministicAndFair(t *testing.T) {
+	w := tiny()
+	a := concurrentScripts(w, 0, 4)
+	b := concurrentScripts(w, 0, 4)
+	if len(a) != 4 {
+		t.Fatalf("got %d client scripts, want 4", len(a))
+	}
+	total, reads := 0, 0
+	for c := range a {
+		if len(a[c]) != len(b[c]) {
+			t.Fatal("scripts not deterministic")
+		}
+		for i := range a[c] {
+			if a[c][i] != b[c][i] {
+				t.Fatal("scripts not deterministic")
+			}
+			total++
+			if a[c][i].kind == scGet {
+				reads++
+			}
+		}
+	}
+	if total != w.M {
+		t.Fatalf("scripts carry %d ops, want M=%d", total, w.M)
+	}
+	// The mix is 90% reads; allow generous slack for RNG noise.
+	if frac := float64(reads) / float64(total); frac < 0.85 || frac > 0.95 {
+		t.Fatalf("read fraction %.3f, want ≈0.9", frac)
+	}
+	// No ops may be dropped when M is not divisible by the client
+	// count: the remainder is dealt out one extra op per client.
+	for _, clients := range []int{3, 7, 64} {
+		total := 0
+		for _, sc := range concurrentScripts(w, 1, clients) {
+			total += len(sc)
+		}
+		if total != w.M {
+			t.Fatalf("%d clients: scripts carry %d ops, want M=%d", clients, total, w.M)
+		}
+	}
+}
+
 func TestWriteTable(t *testing.T) {
 	var buf bytes.Buffer
 	err := WriteTable(&buf, []string{"a", "long-header"}, [][]string{
@@ -248,6 +309,38 @@ func TestWriteCSV(t *testing.T) {
 	}
 	if buf.String() != "x,y\n1,2\n" {
 		t.Fatalf("csv = %q", buf.String())
+	}
+}
+
+func TestSeriesJSON(t *testing.T) {
+	s := NewSeries("fig17", tiny(), []string{"workers", "t_ms", "speedup"},
+		[][]string{{"2", "12.5", "1.80x"}, {"4", "note", "2.40x"}})
+	if s.Experiment != "fig17" || s.Workload["n"] != 20000 {
+		t.Fatalf("series header wrong: %+v", s)
+	}
+	if v, ok := s.Rows[0]["workers"].(int64); !ok || v != 2 {
+		t.Fatalf("integer cell not parsed: %#v", s.Rows[0]["workers"])
+	}
+	if v, ok := s.Rows[0]["t_ms"].(float64); !ok || v != 12.5 {
+		t.Fatalf("float cell not parsed: %#v", s.Rows[0]["t_ms"])
+	}
+	if v, ok := s.Rows[0]["speedup"].(float64); !ok || v != 1.8 {
+		t.Fatalf("speedup cell not parsed: %#v", s.Rows[0]["speedup"])
+	}
+	if v, ok := s.Rows[1]["t_ms"].(string); !ok || v != "note" {
+		t.Fatalf("non-numeric cell mangled: %#v", s.Rows[1]["t_ms"])
+	}
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, []Series{s}); err != nil {
+		t.Fatal(err)
+	}
+	var back []Series
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("WriteJSON emitted invalid JSON: %v", err)
+	}
+	if len(back) != 1 || back[0].Experiment != "fig17" || len(back[0].Rows) != 2 {
+		t.Fatalf("round-trip mismatch: %+v", back)
 	}
 }
 

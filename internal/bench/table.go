@@ -1,8 +1,10 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 )
 
@@ -56,6 +58,62 @@ func WriteCSV(w io.Writer, header []string, rows [][]string) error {
 		}
 	}
 	return nil
+}
+
+// Series is one experiment's result set in machine-readable form:
+// the experiment name, the workload it ran under, and one object per
+// row keyed by column name. It is what pbench -json emits (files like
+// BENCH_<experiment>.json capturing a perf trajectory per PR).
+type Series struct {
+	Experiment string           `json:"experiment"`
+	Workload   map[string]any   `json:"workload"`
+	Columns    []string         `json:"columns"`
+	Rows       []map[string]any `json:"rows"`
+}
+
+// NewSeries converts a rendered table into a Series, parsing cells
+// back into JSON numbers where possible: integers stay integers,
+// floats stay floats, and speedup cells drop their "x" suffix. Cells
+// that are not numeric survive as strings.
+func NewSeries(experiment string, w Workload, header []string, rows [][]string) Series {
+	s := Series{
+		Experiment: experiment,
+		Workload: map[string]any{
+			"n": w.N, "m": w.M, "seed": w.Seed, "dist": w.DistName(),
+		},
+		Columns: header,
+	}
+	for _, row := range rows {
+		obj := make(map[string]any, len(row))
+		for i, cell := range row {
+			if i >= len(header) {
+				break
+			}
+			obj[header[i]] = parseCell(cell)
+		}
+		s.Rows = append(s.Rows, obj)
+	}
+	return s
+}
+
+// parseCell recovers a typed value from a formatted table cell.
+func parseCell(cell string) any {
+	if v, err := strconv.ParseInt(cell, 10, 64); err == nil {
+		return v
+	}
+	num := strings.TrimSuffix(cell, "x")
+	if v, err := strconv.ParseFloat(num, 64); err == nil {
+		return v
+	}
+	return cell
+}
+
+// WriteJSON renders a slice of Series as one indented JSON array, the
+// pbench -json output format.
+func WriteJSON(w io.Writer, series []Series) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(series)
 }
 
 // MS formats a millisecond value with sub-millisecond precision for

@@ -1,0 +1,525 @@
+// Package combine implements a flat-combining-style concurrent
+// frontend for the parallel-batched engine: arbitrarily many client
+// goroutines submit single-key and mini-batch operations, a single
+// combiner goroutine coalesces everything queued into an epoch, and
+// each epoch executes as at most one batched read traversal plus one
+// batched write traversal on the underlying engine, with full
+// intra-batch parallelism.
+//
+// This inverts the usual lock-based recipe: instead of serializing
+// clients around a structure that handles one key at a time, clients
+// are serialized only for the nanoseconds it takes to enqueue, and the
+// per-key work runs through the engine's O(m·log log n) batched
+// traversals. The pattern follows the combining frontends of
+// Akhremtsev & Sanders ("Fast Parallel Operations on Search Trees",
+// arXiv:1510.05433), which bridge exactly this gap between a
+// batched-sequential-at-the-top engine and a concurrent-clients
+// workload.
+//
+// Semantics: every operation of an epoch is linearized in submission
+// order. Reads observe the pre-epoch state as modified by the writes
+// submitted before them in the same epoch; writes to the same key
+// resolve last-wins; mini-batch operations are atomic (their elements
+// occupy consecutive positions in the epoch order). Len and Snapshot
+// linearize at the end of their epoch.
+package combine
+
+import (
+	"cmp"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/parallel"
+)
+
+// Engine is the batched structure a Combiner serves: the subset of
+// *core.Tree the epoch executor needs. Batches passed to it are
+// always sorted and duplicate-free. The Combiner is the only caller,
+// so the Engine itself need not be safe for concurrent use.
+type Engine[K cmp.Ordered, V any] interface {
+	ContainsBatched(keys []K) []bool
+	GetBatched(keys []K) (vals []V, found []bool)
+	PutBatched(keys []K, vals []V) int
+	RemoveBatched(keys []K) int
+	Len() int
+	Keys() []K
+	Items() ([]K, []V)
+}
+
+// ErrClosed is returned by operations submitted after Close.
+var ErrClosed = errors.New("combine: combiner is closed")
+
+// Options tunes the flush policy of a Combiner. The zero value
+// selects the defaults.
+type Options struct {
+	// MaxBatch is the size trigger: an epoch is flushed as soon as the
+	// queued operations carry at least this many keys. Default 8192.
+	MaxBatch int
+	// MaxWait is the latency trigger: an epoch is flushed once its
+	// oldest operation has waited this long, however slowly the queue
+	// is still growing. Below this cap the combiner flushes as soon as
+	// arrivals stall (see loop), so MaxWait is a bound, not a tax paid
+	// on every epoch. Default 200µs.
+	MaxWait time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 8192
+	}
+	if o.MaxWait <= 0 {
+		o.MaxWait = 200 * time.Microsecond
+	}
+	return o
+}
+
+// Kind identifies the operation an op carries.
+type Kind uint8
+
+const (
+	kindGet Kind = iota + 1
+	kindContains
+	kindPut
+	kindDelete
+	kindFence    // waits for all earlier ops; reports engine length
+	kindSnapshot // fence that additionally copies out all items
+	kindKeys     // fence that copies out the keys only
+)
+
+// op is one client submission: a mini-batch of keys (length 1 for
+// single-key operations) plus result storage filled by the combiner.
+// Single-key ops use the inline arrays to stay allocation-free under
+// the sync.Pool.
+type op[K cmp.Ordered, V any] struct {
+	kind Kind
+	keys []K
+	vals []V // kindPut: vals[i] to store under keys[i]
+
+	rvals  []V    // kindGet: value per input position
+	rfound []bool // get/contains: present; put: inserted; delete: removed
+	rlen   int    // fence/snapshot: engine length after the epoch
+	rkeys  []K    // snapshot/keys: all keys
+
+	enq  time.Time // for the combine-wait statistic
+	done chan struct{}
+
+	k1  [1]K
+	v1  [1]V
+	rv1 [1]V
+	rf1 [1]bool
+}
+
+// Combiner serves concurrent clients by funneling their operations
+// through epochs executed on a single Engine. Create one with New;
+// all exported methods are safe for concurrent use.
+type Combiner[K cmp.Ordered, V any] struct {
+	eng  Engine[K, V]
+	pool *parallel.Pool
+	opts Options
+
+	mu          sync.Mutex
+	pending     []*op[K, V] // enqueue order is the epoch linearization order
+	pendingKeys int
+	firstEnq    time.Time
+	closed      bool
+
+	wake     chan struct{} // capacity 1; nudges the combiner loop
+	loopDone chan struct{}
+
+	opPool sync.Pool
+
+	smu sync.Mutex
+	st  counters
+}
+
+// counters accumulates the raw statistics behind Stats.
+type counters struct {
+	epochs      int64
+	ops         int64
+	keys        int64
+	sizeFlushes int64
+	waitTotal   time.Duration
+}
+
+// Stats is a snapshot of combining behavior since construction.
+type Stats struct {
+	// Epochs is the number of combined batches executed.
+	Epochs int64
+	// Ops is the number of client operations served.
+	Ops int64
+	// Keys is the number of keys those operations carried.
+	Keys int64
+	// SizeFlushes counts epochs flushed by the MaxBatch size trigger;
+	// the remaining Epochs − SizeFlushes were flushed by the latency
+	// trigger (or by Close draining the queue).
+	SizeFlushes int64
+	// MeanOps and MeanKeys are the mean combined batch size per epoch,
+	// in operations and in keys.
+	MeanOps  float64
+	MeanKeys float64
+	// MeanWait is the mean time an operation spent queued before its
+	// epoch began executing.
+	MeanWait time.Duration
+}
+
+// New starts a Combiner serving eng. pool bounds the parallelism of
+// epoch execution (batched traversals and result routing); a nil pool
+// means sequential. The caller must not touch eng afterwards except
+// through the Combiner, and should Close the Combiner to stop its
+// goroutine.
+func New[K cmp.Ordered, V any](eng Engine[K, V], pool *parallel.Pool, opts Options) *Combiner[K, V] {
+	c := &Combiner[K, V]{
+		eng:      eng,
+		pool:     pool,
+		opts:     opts.withDefaults(),
+		wake:     make(chan struct{}, 1),
+		loopDone: make(chan struct{}),
+	}
+	c.opPool.New = func() any {
+		return &op[K, V]{done: make(chan struct{}, 1)}
+	}
+	go c.loop()
+	return c
+}
+
+// getOp takes a recycled op and arms it for one submission.
+func (c *Combiner[K, V]) getOp(kind Kind) *op[K, V] {
+	o := c.opPool.Get().(*op[K, V])
+	o.kind = kind
+	return o
+}
+
+// putOp recycles an op. Results must have been copied out already;
+// references to caller slices are dropped so nothing is retained.
+func (c *Combiner[K, V]) putOp(o *op[K, V]) {
+	o.keys, o.vals, o.rvals, o.rfound, o.rkeys = nil, nil, nil, nil, nil
+	var zk K
+	var zv V
+	o.k1[0], o.v1[0], o.rv1[0], o.rf1[0] = zk, zv, zv, false
+	c.opPool.Put(o)
+}
+
+// submit enqueues o and blocks until its epoch has executed. The
+// caller's keys/vals slices are read by the combiner while the caller
+// is blocked, never retained past completion.
+func (c *Combiner[K, V]) submit(o *op[K, V]) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	o.enq = time.Now()
+	if len(c.pending) == 0 {
+		c.firstEnq = o.enq
+	}
+	c.pending = append(c.pending, o)
+	c.pendingKeys += len(o.keys)
+	nudge := len(c.pending) == 1
+	c.mu.Unlock()
+	// Only the empty→non-empty transition can find the loop blocked on
+	// wake; while the queue is non-empty the loop is gathering or
+	// executing and polls the queue itself.
+	if nudge {
+		select {
+		case c.wake <- struct{}{}:
+		default:
+		}
+	}
+	<-o.done
+	return nil
+}
+
+// loop is the combiner goroutine: it gathers queued operations into
+// epochs under an adaptive flush policy and executes them.
+//
+// Flush policy: an epoch flushes as soon as it holds MaxBatch keys
+// (size trigger); below that the combiner gathers adaptively while
+// the queue is still growing, yielding the processor between polls so
+// just-woken clients can enqueue, and flushes the moment arrivals
+// stall — bounded by the oldest op's MaxWait deadline (latency
+// trigger). A lone client therefore pays only a few yields (its queue
+// never grows while it blocks), while n active clients converge to
+// n-op epochs: the previous epoch's completions wake them together,
+// and gathering holds the epoch open exactly until they have all
+// re-enqueued. Epoch execution time adds natural batching on top —
+// everything arriving during one epoch belongs to the next.
+func (c *Combiner[K, V]) loop() {
+	defer close(c.loopDone)
+	for {
+		c.mu.Lock()
+		for len(c.pending) == 0 {
+			if c.closed {
+				c.mu.Unlock()
+				return
+			}
+			c.mu.Unlock()
+			<-c.wake
+			c.mu.Lock()
+		}
+		// Work is queued: gather while arrivals continue.
+		if c.pendingKeys < c.opts.MaxBatch && !c.closed {
+			deadline := c.firstEnq.Add(c.opts.MaxWait)
+			prev := len(c.pending)
+			c.mu.Unlock()
+			for !time.Now().After(deadline) {
+				for i := 0; i < 4; i++ {
+					runtime.Gosched()
+				}
+				c.mu.Lock()
+				cur, keys, closing := len(c.pending), c.pendingKeys, c.closed
+				c.mu.Unlock()
+				if cur == prev || keys >= c.opts.MaxBatch || closing {
+					break // arrivals stalled, or a trigger fired
+				}
+				prev = cur
+			}
+			c.mu.Lock()
+		}
+		batch := c.pending
+		keys := c.pendingKeys
+		c.pending = nil
+		c.pendingKeys = 0
+		c.mu.Unlock()
+
+		c.runEpoch(batch, keys, keys >= c.opts.MaxBatch)
+	}
+}
+
+// Close stops accepting operations, waits until every already
+// submitted operation has completed (the drain), and stops the
+// combiner goroutine. It is idempotent and safe to call concurrently
+// with in-flight operations: each concurrent operation either
+// completes normally or reports ErrClosed.
+func (c *Combiner[K, V]) Close() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+	<-c.loopDone
+}
+
+// Closed reports whether Close has been called.
+func (c *Combiner[K, V]) Closed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// Stats returns a snapshot of combining behavior.
+func (c *Combiner[K, V]) Stats() Stats {
+	c.smu.Lock()
+	st := c.st
+	c.smu.Unlock()
+	s := Stats{
+		Epochs:      st.epochs,
+		Ops:         st.ops,
+		Keys:        st.keys,
+		SizeFlushes: st.sizeFlushes,
+	}
+	if st.epochs > 0 {
+		s.MeanOps = float64(st.ops) / float64(st.epochs)
+		s.MeanKeys = float64(st.keys) / float64(st.epochs)
+	}
+	if st.ops > 0 {
+		s.MeanWait = st.waitTotal / time.Duration(st.ops)
+	}
+	return s
+}
+
+// Get returns the value stored under key.
+func (c *Combiner[K, V]) Get(key K) (val V, ok bool, err error) {
+	o := c.getOp(kindGet)
+	o.k1[0] = key
+	o.keys = o.k1[:]
+	o.rvals, o.rfound = o.rv1[:], o.rf1[:]
+	if err := c.submit(o); err != nil {
+		c.putOp(o)
+		return val, false, err
+	}
+	val, ok = o.rv1[0], o.rf1[0]
+	c.putOp(o)
+	return val, ok, nil
+}
+
+// Contains reports whether key is present.
+func (c *Combiner[K, V]) Contains(key K) (ok bool, err error) {
+	o := c.getOp(kindContains)
+	o.k1[0] = key
+	o.keys = o.k1[:]
+	o.rfound = o.rf1[:]
+	if err := c.submit(o); err != nil {
+		c.putOp(o)
+		return false, err
+	}
+	ok = o.rf1[0]
+	c.putOp(o)
+	return ok, nil
+}
+
+// Put stores val under key, reporting whether the key was absent.
+func (c *Combiner[K, V]) Put(key K, val V) (inserted bool, err error) {
+	o := c.getOp(kindPut)
+	o.k1[0], o.v1[0] = key, val
+	o.keys, o.vals = o.k1[:], o.v1[:]
+	o.rfound = o.rf1[:]
+	if err := c.submit(o); err != nil {
+		c.putOp(o)
+		return false, err
+	}
+	inserted = o.rf1[0]
+	c.putOp(o)
+	return inserted, nil
+}
+
+// Delete removes key, reporting whether it was present.
+func (c *Combiner[K, V]) Delete(key K) (removed bool, err error) {
+	o := c.getOp(kindDelete)
+	o.k1[0] = key
+	o.keys = o.k1[:]
+	o.rfound = o.rf1[:]
+	if err := c.submit(o); err != nil {
+		c.putOp(o)
+		return false, err
+	}
+	removed = o.rf1[0]
+	c.putOp(o)
+	return removed, nil
+}
+
+// GetBatch fetches the value for every element of keys as one atomic
+// operation: vals[i] and found[i] answer keys[i], whatever the input
+// order or duplication.
+func (c *Combiner[K, V]) GetBatch(keys []K) (vals []V, found []bool, err error) {
+	if len(keys) == 0 {
+		return nil, nil, nil
+	}
+	o := c.getOp(kindGet)
+	o.keys = keys
+	o.rvals, o.rfound = make([]V, len(keys)), make([]bool, len(keys))
+	if err := c.submit(o); err != nil {
+		c.putOp(o)
+		return nil, nil, err
+	}
+	vals, found = o.rvals, o.rfound
+	c.putOp(o)
+	return vals, found, nil
+}
+
+// ContainsBatch reports membership for every element of keys as one
+// atomic operation.
+func (c *Combiner[K, V]) ContainsBatch(keys []K) (found []bool, err error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	o := c.getOp(kindContains)
+	o.keys = keys
+	o.rfound = make([]bool, len(keys))
+	if err := c.submit(o); err != nil {
+		c.putOp(o)
+		return nil, err
+	}
+	found = o.rfound
+	c.putOp(o)
+	return found, nil
+}
+
+// PutBatch upserts every (keys[i], vals[i]) pair as one atomic
+// operation and reports how many keys it newly inserted. Duplicate
+// keys in the batch resolve to the last occurrence.
+func (c *Combiner[K, V]) PutBatch(keys []K, vals []V) (inserted int, err error) {
+	if len(keys) != len(vals) {
+		panic("combine: PutBatch keys/vals length mismatch")
+	}
+	if len(keys) == 0 {
+		return 0, nil
+	}
+	o := c.getOp(kindPut)
+	o.keys, o.vals = keys, vals
+	o.rfound = make([]bool, len(keys))
+	if err := c.submit(o); err != nil {
+		c.putOp(o)
+		return 0, err
+	}
+	for _, in := range o.rfound {
+		if in {
+			inserted++
+		}
+	}
+	c.putOp(o)
+	return inserted, nil
+}
+
+// DeleteBatch removes every element of keys as one atomic operation
+// and reports how many were present.
+func (c *Combiner[K, V]) DeleteBatch(keys []K) (removed int, err error) {
+	if len(keys) == 0 {
+		return 0, nil
+	}
+	o := c.getOp(kindDelete)
+	o.keys = keys
+	o.rfound = make([]bool, len(keys))
+	if err := c.submit(o); err != nil {
+		c.putOp(o)
+		return 0, err
+	}
+	for _, rm := range o.rfound {
+		if rm {
+			removed++
+		}
+	}
+	c.putOp(o)
+	return removed, nil
+}
+
+// Len reports the number of keys stored, linearized at the end of the
+// epoch that serves it (after every operation submitted before Len).
+func (c *Combiner[K, V]) Len() (int, error) {
+	o := c.getOp(kindFence)
+	if err := c.submit(o); err != nil {
+		c.putOp(o)
+		return 0, err
+	}
+	n := o.rlen
+	c.putOp(o)
+	return n, nil
+}
+
+// Flush blocks until every operation submitted before it has
+// executed.
+func (c *Combiner[K, V]) Flush() error {
+	o := c.getOp(kindFence)
+	err := c.submit(o)
+	c.putOp(o)
+	return err
+}
+
+// Snapshot returns all (key, value) pairs, keys ascending, linearized
+// at the end of the epoch that serves it.
+func (c *Combiner[K, V]) Snapshot() ([]K, []V, error) {
+	o := c.getOp(kindSnapshot)
+	if err := c.submit(o); err != nil {
+		c.putOp(o)
+		return nil, nil, err
+	}
+	ks, vs := o.rkeys, o.rvals
+	c.putOp(o)
+	return ks, vs, nil
+}
+
+// Keys returns all keys ascending, linearized at the end of the epoch
+// that serves it. Unlike Snapshot it never materializes the values.
+func (c *Combiner[K, V]) Keys() ([]K, error) {
+	o := c.getOp(kindKeys)
+	if err := c.submit(o); err != nil {
+		c.putOp(o)
+		return nil, err
+	}
+	ks := o.rkeys
+	c.putOp(o)
+	return ks, nil
+}

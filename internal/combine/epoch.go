@@ -1,0 +1,189 @@
+package combine
+
+import (
+	"cmp"
+	"slices"
+	"time"
+
+	"repro/internal/parallel"
+)
+
+// event is one (operation, position) element of an epoch: op ops[op]
+// touches key at its position sub. Sorting events by (key, op, sub)
+// groups each distinct key's touches into a run ordered by
+// linearization order (the epoch slice preserves enqueue order, so
+// the op index ranks submissions; sub ranks positions inside one
+// mini-batch).
+type event[K cmp.Ordered] struct {
+	key K
+	op  int32
+	sub int32
+}
+
+// runEpoch executes one combined batch: it resolves the pre-epoch
+// state of every distinct key with at most one batched read traversal,
+// replays each key's events in linearization order to fill per-op
+// results, and applies the surviving last-wins writes with at most one
+// PutBatched and one RemoveBatched traversal. keyCount and sized feed
+// the statistics.
+func (c *Combiner[K, V]) runEpoch(ops []*op[K, V], keyCount int, sized bool) {
+	start := time.Now()
+
+	// Flatten the epoch into events. Fences carry no keys and resolve
+	// after the writes.
+	nev := 0
+	needVals := false
+	for _, o := range ops {
+		nev += len(o.keys)
+		if o.kind == kindGet {
+			needVals = true
+		}
+	}
+	events := make([]event[K], 0, nev)
+	for i, o := range ops {
+		for j := range o.keys {
+			events = append(events, event[K]{key: o.keys[j], op: int32(i), sub: int32(j)})
+		}
+	}
+	slices.SortFunc(events, func(a, b event[K]) int {
+		if r := cmp.Compare(a.key, b.key); r != 0 {
+			return r
+		}
+		if a.op != b.op {
+			return int(a.op - b.op)
+		}
+		return int(a.sub - b.sub)
+	})
+
+	// Distinct keys and their event runs.
+	readKeys := make([]K, 0, len(events))
+	runStart := make([]int32, 0, len(events)+1)
+	for i := range events {
+		if i == 0 || events[i].key != events[i-1].key {
+			runStart = append(runStart, int32(i))
+			readKeys = append(readKeys, events[i].key)
+		}
+	}
+	runStart = append(runStart, int32(len(events)))
+	nruns := len(readKeys)
+
+	// One batched read traversal resolves the pre-epoch state of every
+	// key the epoch touches; values ride along only when a Get needs
+	// them.
+	var preVals []V
+	var preFound []bool
+	if nruns > 0 {
+		if needVals {
+			preVals, preFound = c.eng.GetBatched(readKeys)
+		} else {
+			preFound = c.eng.ContainsBatched(readKeys)
+		}
+	}
+
+	// Replay every key's events in linearization order, in parallel
+	// across keys: presence (and value) evolve per event, each event
+	// writes its op's answer at its own position, and the key's final
+	// state decides the write traversal below. Distinct keys never
+	// share a result position, so the scatter is race-free.
+	putMark := make([]bool, nruns)
+	delMark := make([]bool, nruns)
+	winVal := make([]V, nruns)
+	parallel.For(c.pool, nruns, 256, func(r int) {
+		present := preFound[r]
+		var val V
+		if needVals {
+			val = preVals[r]
+		}
+		wrote := false
+		for i := runStart[r]; i < runStart[r+1]; i++ {
+			e := events[i]
+			o := ops[e.op]
+			switch o.kind {
+			case kindGet:
+				o.rvals[e.sub] = val
+				o.rfound[e.sub] = present
+			case kindContains:
+				o.rfound[e.sub] = present
+			case kindPut:
+				o.rfound[e.sub] = !present
+				present = true
+				val = o.vals[e.sub]
+				wrote = true
+			case kindDelete:
+				o.rfound[e.sub] = present
+				present = false
+				wrote = true
+			}
+		}
+		if !wrote {
+			return
+		}
+		switch {
+		case present:
+			// The last state-setting write was a Put: install its value
+			// (an upsert also when the key pre-existed, since the value
+			// may differ).
+			putMark[r] = true
+			winVal[r] = val
+		case preFound[r]:
+			delMark[r] = true
+		}
+	})
+
+	// Gather the surviving writes in run order — readKeys is sorted, so
+	// the write batches are sorted and duplicate-free as the engine
+	// requires — and apply them with one traversal each.
+	var putK []K
+	var putV []V
+	var delK []K
+	for r := 0; r < nruns; r++ {
+		switch {
+		case putMark[r]:
+			putK = append(putK, readKeys[r])
+			putV = append(putV, winVal[r])
+		case delMark[r]:
+			delK = append(delK, readKeys[r])
+		}
+	}
+	if len(putK) > 0 {
+		c.eng.PutBatched(putK, putV)
+	}
+	if len(delK) > 0 {
+		c.eng.RemoveBatched(delK)
+	}
+
+	// Fences linearize here, after every keyed operation of the epoch.
+	for _, o := range ops {
+		switch o.kind {
+		case kindFence:
+			o.rlen = c.eng.Len()
+		case kindSnapshot:
+			o.rlen = c.eng.Len()
+			o.rkeys, o.rvals = c.eng.Items()
+		case kindKeys:
+			o.rlen = c.eng.Len()
+			o.rkeys = c.eng.Keys()
+		}
+	}
+
+	// Statistics, then wake every client. Waiters read their results
+	// only after receiving from done, so the sends publish the scatter
+	// writes above.
+	var waitSum time.Duration
+	for _, o := range ops {
+		waitSum += start.Sub(o.enq)
+	}
+	c.smu.Lock()
+	c.st.epochs++
+	c.st.ops += int64(len(ops))
+	c.st.keys += int64(keyCount)
+	if sized {
+		c.st.sizeFlushes++
+	}
+	c.st.waitTotal += waitSum
+	c.smu.Unlock()
+
+	for _, o := range ops {
+		o.done <- struct{}{}
+	}
+}

@@ -1,0 +1,239 @@
+package pbist
+
+import (
+	"time"
+
+	"repro/internal/combine"
+	"repro/internal/core"
+)
+
+// ConcurrentOptions configures a Concurrent frontend: the engine
+// Options plus the combining flush policy. The zero value gives
+// sensible defaults.
+type ConcurrentOptions struct {
+	Options
+	// MaxBatch is the size trigger of the combiner: an epoch is
+	// flushed as soon as the queued operations carry at least this
+	// many keys. Default 8192.
+	MaxBatch int
+	// MaxWait bounds the latency trigger: an epoch is flushed once its
+	// oldest operation has waited this long. Below the bound the
+	// combiner adapts to observed concurrency — it keeps an epoch open
+	// only while submissions are still arriving, so a lone client is
+	// not delayed and n active clients coalesce into n-op epochs.
+	// Default 200µs.
+	MaxWait time.Duration
+}
+
+func (o ConcurrentOptions) combineOptions() combine.Options {
+	return combine.Options{MaxBatch: o.MaxBatch, MaxWait: o.MaxWait}
+}
+
+// Concurrent is the shared-frontend view: a Map[K, V] engine served
+// to arbitrarily many goroutines through a combining queue. Unlike
+// Tree and Map — which run one batched operation at a time on the
+// caller's goroutine — every method of Concurrent is safe for
+// concurrent use.
+//
+// A single combiner goroutine drains the queue in epochs: everything
+// submitted while the previous epoch executed is coalesced, resolved
+// with one batched read traversal plus one batched write traversal on
+// the engine (full intra-batch parallelism), and the per-operation
+// results are routed back to the blocked callers. Under many clients
+// this recovers the batched O(m·log log n) economics for workloads
+// that arrive one key at a time.
+//
+// Consistency: the structure is linearizable. Operations of one epoch
+// take effect in submission order — a Get observes every Put/Delete
+// submitted (anywhere) before it in the epoch, writes to the same key
+// resolve last-wins — and batch methods (GetBatch, PutBatch,
+// DeleteBatch, ContainsBatch) are atomic. Len, Items, and Stats
+// linearize at the boundary of the epoch that serves them.
+//
+// Create one with NewConcurrent or NewConcurrentFromItems; call Close
+// when done to stop the combiner goroutine. Operations on a closed
+// Concurrent panic.
+type Concurrent[K Key, V any] struct {
+	cb *combine.Combiner[K, V]
+}
+
+// NewConcurrent returns an empty concurrent map frontend and starts
+// its combiner goroutine.
+func NewConcurrent[K Key, V any](opts ConcurrentOptions) *Concurrent[K, V] {
+	p := opts.pool()
+	t := core.New[K, V](opts.coreConfig(), p)
+	return &Concurrent[K, V]{cb: combine.New(combine.Engine[K, V](t), p, opts.combineOptions())}
+}
+
+// NewConcurrentFromItems returns a concurrent frontend bulk-loaded
+// with the (keys[i], vals[i]) pairs (last occurrence of a duplicated
+// key wins, as in NewMapFromItems). Neither input slice is retained.
+func NewConcurrentFromItems[K Key, V any](opts ConcurrentOptions, keys []K, vals []V) *Concurrent[K, V] {
+	if len(keys) != len(vals) {
+		panic("pbist: NewConcurrentFromItems keys/vals length mismatch")
+	}
+	p := opts.pool()
+	m := &Map[K, V]{}
+	m.pool = p
+	m.assumeSorted = opts.AssumeSorted
+	nk, nv := m.normalizePairs(keys, vals)
+	t := core.NewFromSortedKV(opts.coreConfig(), p, nk, nv)
+	return &Concurrent[K, V]{cb: combine.New(combine.Engine[K, V](t), p, opts.combineOptions())}
+}
+
+// check panics when an operation is attempted on a closed Concurrent.
+func check(err error) {
+	if err != nil {
+		panic("pbist: operation on closed Concurrent")
+	}
+}
+
+// Get returns the value stored under key; ok is false when absent.
+func (c *Concurrent[K, V]) Get(key K) (val V, ok bool) {
+	val, ok, err := c.cb.Get(key)
+	check(err)
+	return val, ok
+}
+
+// Contains reports whether key is present.
+func (c *Concurrent[K, V]) Contains(key K) bool {
+	ok, err := c.cb.Contains(key)
+	check(err)
+	return ok
+}
+
+// Put stores val under key, inserting or overwriting; it reports
+// whether the key was absent at the operation's linearization point.
+func (c *Concurrent[K, V]) Put(key K, val V) bool {
+	inserted, err := c.cb.Put(key, val)
+	check(err)
+	return inserted
+}
+
+// Delete removes key, reporting whether it was present.
+func (c *Concurrent[K, V]) Delete(key K) bool {
+	removed, err := c.cb.Delete(key)
+	check(err)
+	return removed
+}
+
+// GetBatch fetches the value for every element of keys as one atomic
+// operation: vals[i] and found[i] answer keys[i], whatever the input
+// order or duplication. The keys slice must not be mutated until the
+// call returns.
+func (c *Concurrent[K, V]) GetBatch(keys []K) (vals []V, found []bool) {
+	vals, found, err := c.cb.GetBatch(keys)
+	check(err)
+	return vals, found
+}
+
+// ContainsBatch reports membership for every element of keys as one
+// atomic operation.
+func (c *Concurrent[K, V]) ContainsBatch(keys []K) []bool {
+	found, err := c.cb.ContainsBatch(keys)
+	check(err)
+	return found
+}
+
+// PutBatch upserts every (keys[i], vals[i]) pair as one atomic
+// operation, returning how many keys were newly inserted. Duplicate
+// keys resolve to the last occurrence, as in Map.PutBatch. The slices
+// must have equal length and must not be mutated until the call
+// returns.
+func (c *Concurrent[K, V]) PutBatch(keys []K, vals []V) int {
+	if len(keys) != len(vals) {
+		panic("pbist: PutBatch keys/vals length mismatch")
+	}
+	inserted, err := c.cb.PutBatch(keys, vals)
+	check(err)
+	return inserted
+}
+
+// DeleteBatch removes every element of keys as one atomic operation,
+// returning how many were present.
+func (c *Concurrent[K, V]) DeleteBatch(keys []K) int {
+	removed, err := c.cb.DeleteBatch(keys)
+	check(err)
+	return removed
+}
+
+// Len reports the number of keys stored, linearized after every
+// operation submitted before the call.
+func (c *Concurrent[K, V]) Len() int {
+	n, err := c.cb.Len()
+	check(err)
+	return n
+}
+
+// Flush blocks until every operation submitted before it has
+// executed. Useful as a barrier before reading Stats or handing the
+// structure off.
+func (c *Concurrent[K, V]) Flush() {
+	check(c.cb.Flush())
+}
+
+// Items returns every (key, value) pair, keys ascending and values
+// position-aligned, as one atomic snapshot.
+func (c *Concurrent[K, V]) Items() ([]K, []V) {
+	ks, vs, err := c.cb.Snapshot()
+	check(err)
+	return ks, vs
+}
+
+// Keys returns the keys in ascending order, as one atomic snapshot
+// (values are never materialized, unlike Items).
+func (c *Concurrent[K, V]) Keys() []K {
+	ks, err := c.cb.Keys()
+	check(err)
+	return ks
+}
+
+// Close stops accepting operations, waits for every already submitted
+// operation to complete, and stops the combiner goroutine. It is
+// idempotent and safe to call concurrently with in-flight operations:
+// each concurrent operation either completes normally or panics with
+// the closed-Concurrent message. Operations submitted after Close
+// panic.
+func (c *Concurrent[K, V]) Close() {
+	c.cb.Close()
+}
+
+// Closed reports whether Close has been called.
+func (c *Concurrent[K, V]) Closed() bool {
+	return c.cb.Closed()
+}
+
+// ConcurrentStats is a snapshot of combining behavior since
+// construction: how well the frontend is turning concurrent
+// single-key traffic into batches.
+type ConcurrentStats struct {
+	// Epochs is the number of combined batches executed.
+	Epochs int64
+	// Ops is the number of client operations served; Keys the number
+	// of keys they carried (mini-batches carry several).
+	Ops  int64
+	Keys int64
+	// SizeFlushes counts epochs flushed by the MaxBatch size trigger;
+	// the rest were flushed by the latency trigger or by Close.
+	SizeFlushes int64
+	// MeanOps and MeanKeys are the mean combined batch size per epoch.
+	MeanOps  float64
+	MeanKeys float64
+	// MeanWait is the mean time an operation spent queued before its
+	// epoch began executing.
+	MeanWait time.Duration
+}
+
+// Stats returns a snapshot of combining behavior.
+func (c *Concurrent[K, V]) Stats() ConcurrentStats {
+	s := c.cb.Stats()
+	return ConcurrentStats{
+		Epochs:      s.Epochs,
+		Ops:         s.Ops,
+		Keys:        s.Keys,
+		SizeFlushes: s.SizeFlushes,
+		MeanOps:     s.MeanOps,
+		MeanKeys:    s.MeanKeys,
+		MeanWait:    s.MeanWait,
+	}
+}

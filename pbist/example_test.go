@@ -2,6 +2,7 @@ package pbist_test
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/pbist"
 )
@@ -75,6 +76,31 @@ func ExampleMap_Ascend() {
 	// Output:
 	// 20 b
 	// 30 c
+}
+
+func ExampleConcurrent() {
+	// Concurrent serves many goroutines through one batched engine: a
+	// combiner coalesces whatever they submit into epochs and runs
+	// each epoch as one batched traversal.
+	c := pbist.NewConcurrent[int64, string](pbist.ConcurrentOptions{})
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	for i, name := range []string{"ada", "bob", "cam"} {
+		wg.Add(1)
+		go func(id int64, name string) {
+			defer wg.Done()
+			c.Put(id, name)
+		}(int64(10*(i+1)), name)
+	}
+	wg.Wait()
+
+	v, ok := c.Get(20)
+	fmt.Println(v, ok)
+	fmt.Println(c.Len(), c.Keys())
+	// Output:
+	// bob true
+	// 3 [10 20 30]
 }
 
 func ExampleTree_Stats() {

@@ -3,7 +3,7 @@
 // data structure of "Parallel-batched Interpolation Search Tree"
 // (Aksenov, Kokorin, Martsenyuk; PACT 2023).
 //
-// Two views share one engine:
+// Three views share one engine:
 //
 //   - Tree[K] is the sorted set: single-key operations (Contains,
 //     Insert, Remove), batched operations (ContainsBatch, InsertBatch,
@@ -12,6 +12,10 @@
 //     a value with every key (Get/GetBatch, Put/PutBatch,
 //     Delete/DeleteBatch) plus ordered iteration (All, Ascend) and
 //     value-carrying Min/Max/Select/Range.
+//   - Concurrent[K, V] is the shared frontend: the map engine served
+//     to arbitrarily many goroutines through a combining queue, for
+//     workloads where operations arrive one key at a time from
+//     concurrent clients rather than pre-assembled into batches.
 //
 // Both run every batch through the same parallel-batched traversal:
 //
@@ -38,9 +42,28 @@
 // and GetBatch still answer positionally for every input element, and
 // PutBatch resolves duplicate keys in one batch to the last
 // occurrence). Callers that can guarantee sorted duplicate-free
-// batches set Options.AssumeSorted to skip normalization. Neither
-// view is safe for concurrent use: the parallel-batched model runs
-// one batch at a time and parallelizes inside the batch.
+// batches set Options.AssumeSorted to skip normalization.
+//
+// # Concurrency model
+//
+// Tree and Map are NOT safe for concurrent use: the parallel-batched
+// model runs one batch at a time on the caller's goroutine and
+// parallelizes inside the batch. They are the right view when the
+// application already holds its work as batches — bulk loads,
+// analytical joins, periodic merges — because they spend zero
+// synchronization per operation.
+//
+// Concurrent is the view for the opposite shape: many goroutines each
+// issuing individual operations. Every method is safe for concurrent
+// use, and the structure is linearizable. A single combiner goroutine
+// coalesces everything submitted concurrently into an epoch, executes
+// the epoch as one batched read traversal plus one batched write
+// traversal (with full intra-batch parallelism), and routes each
+// result back to its caller. The more clients, the bigger the epochs,
+// so throughput grows where a lock around a Map would collapse —
+// while a single isolated client pays queue latency for no batching
+// benefit. Rule of thumb: own the batch, use Tree/Map; share the
+// structure, use Concurrent.
 package pbist
 
 import (
