@@ -247,6 +247,34 @@ func BenchmarkBaselineTreapContains(b *testing.B) {
 	reportKeysPerSec(b, benchWorkload.M)
 }
 
+// Whole-tree set algebra: tree-to-tree union and symmetric difference
+// of the ≈10⁶-key base tree with a batch-sized tree. Non-mutating, so
+// the operands build once and every iteration times flatten + combine
+// + ideal rebuild.
+func BenchmarkSetAlgebraUnion(b *testing.B) {
+	base, bat := fixtures()
+	pool := parallel.NewPool(8)
+	ta := core.NewFromSorted(core.Config{}, pool, base)
+	tb := core.NewFromSorted(core.Config{}, pool, bat[0])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ta.Union(tb, true)
+	}
+	reportKeysPerSec(b, len(base)+benchWorkload.M)
+}
+
+func BenchmarkSetAlgebraSymDiff(b *testing.B) {
+	base, bat := fixtures()
+	pool := parallel.NewPool(8)
+	ta := core.NewFromSorted(core.Config{}, pool, base)
+	tb := core.NewFromSorted(core.Config{}, pool, bat[0])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ta.SymmetricDifference(tb)
+	}
+	reportKeysPerSec(b, len(base)+benchWorkload.M)
+}
+
 // A5: leaf capacity H (§3.4) — search cost versus leaf size.
 func BenchmarkSweepLeafCap(b *testing.B) {
 	base, bat := fixtures()

@@ -10,6 +10,7 @@
 //	pbench -experiment fig17 -dist clustered -clusters 128
 //	pbench -experiment map -workers 1,4,8
 //	pbench -experiment concurrent -clients 1,4,16,64
+//	pbench -experiment setalgebra -workers 8
 //	pbench -experiment seqcmp -reps 5
 //	pbench -experiment traverse
 //	pbench -experiment rebuildc -rounds 6
@@ -35,8 +36,8 @@ import (
 // -experiment all executes them. Unknown names are rejected against
 // this table before any setup work happens.
 var experimentOrder = []string{
-	"fig17", "map", "concurrent", "seqcmp", "traverse", "rebuildc", "treap",
-	"leafcap", "indexfactor", "batchsize",
+	"fig17", "map", "concurrent", "setalgebra", "seqcmp", "traverse", "rebuildc",
+	"treap", "leafcap", "indexfactor", "batchsize",
 }
 
 func main() {
@@ -91,6 +92,8 @@ func main() {
 			return runMap(w, workers, *reps)
 		case "concurrent":
 			return runConcurrent(w, clients, *reps)
+		case "setalgebra":
+			return runSetAlgebra(w, workers[len(workers)-1], *reps)
 		case "seqcmp":
 			return runSeqCmp(w, *reps)
 		case "traverse":
@@ -182,6 +185,20 @@ func runConcurrent(w bench.Workload, clients []int, reps int) ([]string, [][]str
 			fmt.Sprintf("%.3f", r.RWMapMops),
 			fmt.Sprintf("%.3f", r.SyncMapMops),
 			fmt.Sprintf("%.1f", r.EpochOps),
+		})
+	}
+	return header, cells
+}
+
+func runSetAlgebra(w bench.Workload, workers, reps int) ([]string, [][]string) {
+	rows := bench.RunSetAlgebraWorkload(w, workers, reps)
+	header := []string{"ratio", "b_keys", "union_ms", "intersect_ms", "diff_ms", "symdiff_ms", "slice_union_ms", "speedup_u"}
+	cells := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Ratio, strconv.Itoa(r.BKeys),
+			bench.MS(r.UnionMS), bench.MS(r.InterMS), bench.MS(r.DiffMS), bench.MS(r.SymMS),
+			bench.MS(r.SliceMS), bench.X(r.SpeedupU),
 		})
 	}
 	return header, cells

@@ -208,6 +208,34 @@ func TestMapPayloadsDerivedFromKeys(t *testing.T) {
 	}
 }
 
+func TestRunSetAlgebraWorkloadShape(t *testing.T) {
+	rows := RunSetAlgebraWorkload(tiny(), 2, 1)
+	if len(rows) != len(SetAlgebraRatios) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(SetAlgebraRatios))
+	}
+	for i, r := range rows {
+		if r.Ratio == "" || r.BKeys < 1 {
+			t.Fatalf("row %d: bad operand column %+v", i, r)
+		}
+		if r.UnionMS <= 0 || r.InterMS <= 0 || r.DiffMS <= 0 || r.SymMS <= 0 || r.SliceMS <= 0 {
+			t.Fatalf("row %d: non-positive timing %+v", i, r)
+		}
+	}
+	// Operand size must shrink with the ratio.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].BKeys >= rows[i-1].BKeys {
+			t.Fatalf("|B| did not shrink: %d then %d", rows[i-1].BKeys, rows[i].BKeys)
+		}
+	}
+}
+
+func TestSliceUnionBaseline(t *testing.T) {
+	got := sliceUnionBaseline([]int64{1, 3, 5}, []int64{2, 3, 6})
+	if want := []int64{1, 2, 3, 5, 6}; !slices.Equal(got, want) {
+		t.Fatalf("sliceUnionBaseline = %v, want %v", got, want)
+	}
+}
+
 func TestRunBaselineTreapShape(t *testing.T) {
 	rows := RunBaselineTreap(tiny(), 2, 1)
 	if len(rows) != 3 {

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/parallel"
+)
+
+// SetAlgebraRow is one point of the whole-tree set-algebra experiment:
+// the cost of tree-to-tree Union / Intersect / DifferenceTree /
+// SymmetricDifference at one operand-size ratio, next to a sequential
+// sorted-slice merge baseline. The tree operations pay flatten +
+// combine + ideal rebuild and hand back a queryable tree; the baseline
+// pays only the merge and hands back a bare sorted array — the gap
+// between the two is the price of structure.
+type SetAlgebraRow struct {
+	Ratio    string // |A| : |B|, e.g. "1:1000"
+	BKeys    int    // |B| actually generated
+	UnionMS  float64
+	InterMS  float64
+	DiffMS   float64
+	SymMS    float64
+	SliceMS  float64 // sequential sorted-slice union of the same operands
+	SpeedupU float64 // SliceMS / UnionMS
+}
+
+// SetAlgebraRatios are the |A|:|B| operand-size ratios the experiment
+// sweeps: balanced, moderately skewed, and extreme.
+var SetAlgebraRatios = []int{1, 10, 1000}
+
+// sliceUnionBaseline merges two sorted duplicate-free key slices
+// sequentially — the textbook two-pointer walk a sorted-slice design
+// would run instead of the tree operation.
+func sliceUnionBaseline(a, b []int64) []int64 {
+	out := make([]int64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// RunSetAlgebraWorkload measures whole-tree set algebra: tree A is
+// bulk-loaded from the §9 base keys, tree B is drawn from the
+// workload's batch distribution at |A|/ratio keys over the same range,
+// and each repetition times the four tree-to-tree operations plus the
+// sorted-slice union baseline. The operations are non-mutating, so
+// both operand trees are built once per ratio and reused across
+// repetitions.
+func RunSetAlgebraWorkload(w Workload, workers, reps int) []SetAlgebraRow {
+	w = w.WithDefaults()
+	if reps < 1 {
+		reps = 1
+	}
+	pool := parallel.NewPool(workers)
+	aKeys := w.BaseKeys()
+	treeA := core.NewFromSorted(core.Config{}, pool, aKeys)
+	lo, hi := w.Range()
+
+	rows := make([]SetAlgebraRow, 0, len(SetAlgebraRatios))
+	for _, ratio := range SetAlgebraRatios {
+		bSize := len(aKeys) / ratio
+		if bSize < 1 {
+			bSize = 1
+		}
+		bKeys, err := dist.Generate(w.DistName(), dist.NewRNG(w.Seed^uint64(ratio)*0x9e37), bSize, lo, hi)
+		if err != nil {
+			panic(err) // Validate gates the name in the commands
+		}
+		treeB := core.NewFromSorted(core.Config{}, pool, bKeys)
+
+		row := SetAlgebraRow{Ratio: fmt.Sprintf("1:%d", ratio), BKeys: len(bKeys)}
+		row.UnionMS = meanMS(reps, func(int) func() {
+			return func() { treeA.Union(treeB, true) }
+		})
+		row.InterMS = meanMS(reps, func(int) func() {
+			return func() { treeA.Intersect(treeB, false) }
+		})
+		row.DiffMS = meanMS(reps, func(int) func() {
+			return func() { treeA.DifferenceTree(treeB) }
+		})
+		row.SymMS = meanMS(reps, func(int) func() {
+			return func() { treeA.SymmetricDifference(treeB) }
+		})
+		row.SliceMS = meanMS(reps, func(int) func() {
+			return func() { sliceUnionBaseline(aKeys, bKeys) }
+		})
+		row.SpeedupU = safeRatio(row.SliceMS, row.UnionMS)
+		rows = append(rows, row)
+	}
+	return rows
+}

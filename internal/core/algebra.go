@@ -1,0 +1,137 @@
+package core
+
+import "repro/internal/parallel"
+
+// Whole-tree set algebra (§2.2 taken to its conclusion): where
+// InsertBatched/RemoveBatched combine a tree with a *slice*, the
+// operations here combine a tree with another *tree*. Following the
+// bulk route of Akhremtsev & Sanders ("Fast Parallel Operations on
+// Search Trees") adapted to the IST's rebuild machinery, every
+// operation is flatten–combine–rebuild: both operands flatten in
+// parallel (§7.2), a shard-parallel merge kernel combines the sorted
+// key/value arrays, and buildIdeal (§7.3) rebuilds an ideally balanced
+// result — O(n₁+n₂) work and polylogarithmic span, which matches the
+// cost of the rebuild any sufficiently large batch triggers anyway,
+// and leaves the result in the best possible shape for later batches.
+//
+// All operations are non-mutating: the operands survive untouched and
+// the result is a fresh tree carrying the receiver's configuration and
+// pool. Operands whose combined size is small run fully sequentially,
+// mirroring the seqpath.go cutoff.
+
+// algebraPool returns the pool tree-to-tree combine kernels run on:
+// the tree's own pool, or nil (sequential) when the combined operand
+// size is too small to win anything from forking — the same cutoff
+// that gates flatten and buildIdeal.
+func (t *Tree[K, V]) algebraPool(n int) *parallel.Pool {
+	if n <= buildSeqCutoff {
+		return nil
+	}
+	return t.pool
+}
+
+// flattenPair flattens the receiver and other into sorted key/value
+// arrays, the two flattens themselves running in parallel with each
+// other on the receiver's pool.
+func (t *Tree[K, V]) flattenPair(other *Tree[K, V]) (ak []K, av []V, bk []K, bv []V) {
+	t.pool.Do(
+		func() { ak, av = t.flatten(t.root) },
+		func() { bk, bv = t.flatten(other.root) },
+	)
+	return ak, av, bk, bv
+}
+
+// rebuiltFrom wraps sorted duplicate-free keys/vals into a fresh
+// ideally balanced tree with the receiver's configuration and pool.
+func (t *Tree[K, V]) rebuiltFrom(keys []K, vals []V) *Tree[K, V] {
+	res := New[K, V](t.cfg, t.pool)
+	res.root = res.buildIdeal(keys, vals)
+	return res
+}
+
+// Union returns a new tree holding every key of t and other. On keys
+// present in both, the value comes from other when otherWins is true
+// and from t otherwise (for the set instantiation V = struct{} the
+// flag is irrelevant). Neither operand is modified.
+func (t *Tree[K, V]) Union(other *Tree[K, V], otherWins bool) *Tree[K, V] {
+	ak, av, bk, bv := t.flattenPair(other)
+	p := t.algebraPool(len(ak) + len(bk))
+	var mk []K
+	var mv []V
+	if otherWins {
+		mk, mv = parallel.UnionKV(p, ak, av, bk, bv)
+	} else {
+		mk, mv = parallel.UnionKV(p, bk, bv, ak, av)
+	}
+	return t.rebuiltFrom(mk, mv)
+}
+
+// Intersect returns a new tree holding the keys present in both t and
+// other, with values from other when otherWins is true and from t
+// otherwise. Neither operand is modified.
+func (t *Tree[K, V]) Intersect(other *Tree[K, V], otherWins bool) *Tree[K, V] {
+	ak, av, bk, bv := t.flattenPair(other)
+	p := t.algebraPool(len(ak) + len(bk))
+	if otherWins {
+		ak, av, bk, bv = bk, bv, ak, av
+	}
+	mk, mv := parallel.IntersectKV(p, ak, av, bk, bv)
+	return t.rebuiltFrom(mk, mv)
+}
+
+// DifferenceTree returns a new tree holding the keys of t that are not
+// in other, keeping t's values. Neither operand is modified. (The name
+// leaves Difference free for slice-operand helpers in the public API.)
+func (t *Tree[K, V]) DifferenceTree(other *Tree[K, V]) *Tree[K, V] {
+	ak, av, bk, _ := t.flattenPair(other)
+	p := t.algebraPool(len(ak) + len(bk))
+	mk, mv := parallel.DifferenceKV(p, ak, av, bk)
+	return t.rebuiltFrom(mk, mv)
+}
+
+// SymmetricDifference returns a new tree holding the keys present in
+// exactly one of t and other, each key keeping the value of the
+// operand it came from. Neither operand is modified.
+func (t *Tree[K, V]) SymmetricDifference(other *Tree[K, V]) *Tree[K, V] {
+	ak, av, bk, bv := t.flattenPair(other)
+	p := t.algebraPool(len(ak) + len(bk))
+	mk, mv := parallel.SymmetricDifferenceKV(p, ak, av, bk, bv)
+	return t.rebuiltFrom(mk, mv)
+}
+
+// Split partitions t by key into two new ideally balanced trees: left
+// holds the keys < key, right the keys >= key. t is not modified; the
+// two rebuilds run in parallel.
+func (t *Tree[K, V]) Split(key K) (left, right *Tree[K, V]) {
+	ak, av := t.flatten(t.root)
+	cut := parallel.LowerBound(ak, key)
+	left = New[K, V](t.cfg, t.pool)
+	right = New[K, V](t.cfg, t.pool)
+	t.pool.Do(
+		func() { left.root = left.buildIdeal(ak[:cut], av[:cut]) },
+		func() { right.root = right.buildIdeal(ak[cut:], av[cut:]) },
+	)
+	return left, right
+}
+
+// Join returns a new tree holding every pair of t and other, requiring
+// every key of t to be strictly smaller than every key of other (the
+// inverse of Split; use Union for overlapping ranges). It panics when
+// the ranges touch or overlap. Neither operand is modified.
+func (t *Tree[K, V]) Join(other *Tree[K, V]) *Tree[K, V] {
+	if t.Len() > 0 && other.Len() > 0 {
+		maxK, _, _ := t.Max()
+		minK, _, _ := other.Min()
+		if maxK >= minK {
+			panic("core: Join requires every key of the receiver to be smaller than every key of the argument")
+		}
+	}
+	ak, av, bk, bv := t.flattenPair(other)
+	keys := make([]K, len(ak)+len(bk))
+	vals := make([]V, len(ak)+len(bk))
+	t.pool.Do(
+		func() { copy(keys, ak); copy(vals, av) },
+		func() { copy(keys[len(ak):], bk); copy(vals[len(av):], bv) },
+	)
+	return t.rebuiltFrom(keys, vals)
+}

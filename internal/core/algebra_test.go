@@ -1,0 +1,441 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"slices"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/parallel"
+	"repro/internal/rbtree"
+)
+
+// algebraPools are the worker counts the whole-tree operations run
+// under in the differential harness: sequential, moderately parallel,
+// and machine-wide.
+func algebraPools() map[string]*parallel.Pool {
+	return map[string]*parallel.Pool{
+		"w1": parallel.NewPool(1),
+		"w4": parallel.NewPool(4),
+		"wN": parallel.NewPool(runtime.GOMAXPROCS(0)),
+	}
+}
+
+// sliceUnion and friends are the sorted-slice oracle: sequential
+// two-pointer walks over sorted duplicate-free inputs, independent of
+// every parallel kernel under test.
+func sliceUnion(a, b []int64) []int64 {
+	out := make([]int64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j == len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i == len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func sliceIntersect(a, b []int64) []int64 {
+	var out []int64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case b[j] < a[i]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func sliceDiff(a, b []int64) []int64 {
+	var out []int64
+	j := 0
+	for _, x := range a {
+		for j < len(b) && b[j] < x {
+			j++
+		}
+		if j < len(b) && b[j] == x {
+			continue
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+func sliceSymDiff(a, b []int64) []int64 {
+	return sliceUnion(sliceDiff(a, b), sliceDiff(b, a))
+}
+
+// rbFromKeys builds the red-black-tree baseline from a key slice.
+func rbFromKeys(keys []int64) *rbtree.Tree[int64] {
+	rb := rbtree.New[int64]()
+	for _, k := range keys {
+		rb.Insert(k)
+	}
+	return rb
+}
+
+// rbUnion and friends compute the same operations on the independently
+// written red-black tree, the second oracle of the harness.
+func rbUnion(a, b []int64) []int64 {
+	rb := rbFromKeys(a)
+	for _, k := range b {
+		rb.Insert(k)
+	}
+	return rb.Keys()
+}
+
+func rbIntersect(a, b []int64) []int64 {
+	rb := rbFromKeys(a)
+	out := make([]int64, 0)
+	for _, k := range b {
+		if rb.Contains(k) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func rbDiff(a, b []int64) []int64 {
+	rb := rbFromKeys(a)
+	for _, k := range b {
+		rb.Remove(k)
+	}
+	return rb.Keys()
+}
+
+func rbSymDiff(a, b []int64) []int64 {
+	rb := rbFromKeys(a)
+	for _, k := range b {
+		if rb.Contains(k) {
+			rb.Remove(k)
+		} else {
+			rb.Insert(k)
+		}
+	}
+	return rb.Keys()
+}
+
+// distOperands draws two sorted duplicate-free key sets from the named
+// workload generators over overlapping ranges, so every operation sees
+// both common and one-sided keys.
+func distOperands(t *testing.T, genA, genB string, seed uint64, nA, nB int) (a, b []int64) {
+	t.Helper()
+	a, err := dist.Generate(genA, dist.NewRNG(seed), nA, 0, 1<<21)
+	if err != nil {
+		t.Fatalf("generate %s: %v", genA, err)
+	}
+	b, err = dist.Generate(genB, dist.NewRNG(seed^0xabcdef), nB, 1<<19, 1<<21+1<<19)
+	if err != nil {
+		t.Fatalf("generate %s: %v", genB, err)
+	}
+	return a, b
+}
+
+// TestSetAlgebraDifferential checks every whole-tree operation against
+// both oracles — the sorted-slice walk and the red-black tree — for
+// operand pairs drawn from every pair of distribution generators, at
+// three worker counts. CI's -race job runs it with the race detector
+// watching the parallel flatten/combine/rebuild pipeline.
+func TestSetAlgebraDifferential(t *testing.T) {
+	gens := []string{"uniform", "clustered", "zipf", "expspaced"}
+	sizes := [][2]int{{4000, 4000}, {6000, 40}, {25, 3000}}
+	for pname, p := range algebraPools() {
+		for _, genA := range gens {
+			for _, genB := range gens {
+				name := pname + "/" + genA + "-" + genB
+				t.Run(name, func(t *testing.T) {
+					for si, sz := range sizes {
+						a, b := distOperands(t, genA, genB, uint64(1000+si), sz[0], sz[1])
+						ta := NewFromSorted(Config{}, p, a)
+						tb := NewFromSorted(Config{}, p, b)
+
+						for _, tc := range []struct {
+							op   string
+							got  *Tree[int64, struct{}]
+							want []int64
+							rb   []int64
+						}{
+							{"union", ta.Union(tb, true), sliceUnion(a, b), rbUnion(a, b)},
+							{"intersect", ta.Intersect(tb, false), sliceIntersect(a, b), rbIntersect(a, b)},
+							{"difference", ta.DifferenceTree(tb), sliceDiff(a, b), rbDiff(a, b)},
+							{"symdiff", ta.SymmetricDifference(tb), sliceSymDiff(a, b), rbSymDiff(a, b)},
+						} {
+							keys := tc.got.Keys()
+							if !slices.Equal(keys, tc.want) {
+								t.Fatalf("%s: diverges from sorted-slice oracle (|got|=%d |want|=%d)",
+									tc.op, len(keys), len(tc.want))
+							}
+							if !slices.Equal(keys, tc.rb) {
+								t.Fatalf("%s: diverges from rbtree oracle", tc.op)
+							}
+							if tc.got.Len() != len(tc.want) {
+								t.Fatalf("%s: Len = %d, want %d", tc.op, tc.got.Len(), len(tc.want))
+							}
+							checkInvariants(t, tc.got)
+						}
+
+						// Operands must survive every operation untouched.
+						if !slices.Equal(ta.Keys(), a) || !slices.Equal(tb.Keys(), b) {
+							t.Fatal("set algebra mutated an operand")
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSetAlgebraRandomSequences drives random sequences of whole-tree
+// operations — the result of each round becomes the left operand of
+// the next — against a sorted-slice oracle evolved in lockstep.
+func TestSetAlgebraRandomSequences(t *testing.T) {
+	gens := []string{"uniform", "clustered", "zipf", "expspaced", "runs"}
+	for pname, p := range algebraPools() {
+		t.Run(pname, func(t *testing.T) {
+			r := rand.New(rand.NewSource(int64(len(pname)) * 7919))
+			cur := New[int64, struct{}](Config{LeafCap: 8, RebuildFactor: 1}, p)
+			oracle := []int64{}
+			for round := 0; round < 30; round++ {
+				gen := gens[r.Intn(len(gens))]
+				n := 1 + r.Intn(3000)
+				b, err := dist.Generate(gen, dist.NewRNG(uint64(round)*77+1), n, 0, 1<<18)
+				if err != nil {
+					t.Fatalf("generate %s: %v", gen, err)
+				}
+				tb := NewFromSorted(Config{}, p, b)
+				switch round % 4 {
+				case 0:
+					cur = cur.Union(tb, true)
+					oracle = sliceUnion(oracle, b)
+				case 1:
+					cur = cur.DifferenceTree(tb)
+					oracle = sliceDiff(oracle, b)
+				case 2:
+					cur = cur.SymmetricDifference(tb)
+					oracle = sliceSymDiff(oracle, b)
+				default:
+					// Intersecting with a small set would collapse the
+					// sequence; union the intersection back instead.
+					cur = cur.Union(cur.Intersect(tb, false), false)
+					oracle = sliceUnion(oracle, sliceIntersect(oracle, b))
+				}
+				if got := cur.Keys(); !slices.Equal(got, oracle) {
+					t.Fatalf("round %d (%s): sequence diverged (|got|=%d |want|=%d)",
+						round, gen, len(got), len(oracle))
+				}
+			}
+			checkInvariants(t, cur)
+		})
+	}
+}
+
+// TestSplitJoinRoundTrip splits at random keys (present, absent, below
+// min, above max) and checks both halves against the oracle, then
+// joins them back and demands the original contents.
+func TestSplitJoinRoundTrip(t *testing.T) {
+	for pname, p := range algebraPools() {
+		t.Run(pname, func(t *testing.T) {
+			keys := sortedUniqueKeys(99, 20000, 1<<30)
+			tr := NewFromSorted(Config{}, p, keys)
+			r := rand.New(rand.NewSource(4242))
+			cuts := []int64{-1, 0, keys[0], keys[len(keys)-1], keys[len(keys)-1] + 1}
+			for i := 0; i < 10; i++ {
+				cuts = append(cuts, keys[r.Intn(len(keys))], r.Int63n(1<<30))
+			}
+			for _, cut := range cuts {
+				left, right := tr.Split(cut)
+				idx := parallel.LowerBound(keys, cut)
+				if !slices.Equal(left.Keys(), keys[:idx]) {
+					t.Fatalf("Split(%d): left diverges", cut)
+				}
+				if !slices.Equal(right.Keys(), keys[idx:]) {
+					t.Fatalf("Split(%d): right diverges", cut)
+				}
+				checkInvariants(t, left)
+				checkInvariants(t, right)
+				joined := left.Join(right)
+				if !slices.Equal(joined.Keys(), keys) {
+					t.Fatalf("Split(%d)+Join: round trip lost keys", cut)
+				}
+				checkInvariants(t, joined)
+			}
+			if !slices.Equal(tr.Keys(), keys) {
+				t.Fatal("Split mutated its receiver")
+			}
+		})
+	}
+}
+
+func TestJoinRejectsOverlap(t *testing.T) {
+	p := parallel.NewPool(2)
+	a := NewFromSorted(Config{}, p, []int64{1, 2, 3})
+	b := NewFromSorted(Config{}, p, []int64{3, 4, 5})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Join of overlapping ranges did not panic")
+		}
+	}()
+	a.Join(b)
+}
+
+func TestJoinEmptyOperands(t *testing.T) {
+	p := parallel.NewPool(2)
+	empty := New[int64, struct{}](Config{}, p)
+	full := NewFromSorted(Config{}, p, []int64{1, 2, 3})
+	if got := empty.Join(full).Keys(); !slices.Equal(got, []int64{1, 2, 3}) {
+		t.Fatalf("empty.Join(full) = %v", got)
+	}
+	if got := full.Join(empty).Keys(); !slices.Equal(got, []int64{1, 2, 3}) {
+		t.Fatalf("full.Join(empty) = %v", got)
+	}
+	if got := empty.Join(empty).Len(); got != 0 {
+		t.Fatalf("empty.Join(empty).Len() = %d", got)
+	}
+}
+
+// TestSetAlgebraValues pins the merge-policy semantics of the
+// value-carrying tree: otherWins selects whose value survives on
+// common keys, and one-sided keys always keep their own value.
+func TestSetAlgebraValues(t *testing.T) {
+	p := parallel.NewPool(4)
+	mk := func(keys []int64, tag uint64) *Tree[int64, uint64] {
+		vals := make([]uint64, len(keys))
+		for i, k := range keys {
+			vals[i] = uint64(k)*10 + tag
+		}
+		return NewFromSortedKV(Config{}, p, keys, vals)
+	}
+	a := sortedUniqueKeys(7, 5000, 1<<20)
+	b := sortedUniqueKeys(8, 5000, 1<<20)
+	ta, tb := mk(a, 1), mk(b, 2)
+	common := sliceIntersect(a, b)
+
+	check := func(op string, tr *Tree[int64, uint64], wantKeys []int64, tagFor func(k int64) uint64) {
+		t.Helper()
+		keys, vals := tr.Items()
+		if !slices.Equal(keys, wantKeys) {
+			t.Fatalf("%s: wrong key set", op)
+		}
+		for i, k := range keys {
+			if want := uint64(k)*10 + tagFor(k); vals[i] != want {
+				t.Fatalf("%s: value[%d] (key %d) = %d, want %d", op, i, k, vals[i], want)
+			}
+		}
+	}
+	inB := func(k int64) bool { _, ok := slices.BinarySearch(common, k); return ok }
+
+	check("union otherWins", ta.Union(tb, true), sliceUnion(a, b), func(k int64) uint64 {
+		if _, ok := slices.BinarySearch(b, k); ok {
+			return 2
+		}
+		return 1
+	})
+	check("union selfWins", ta.Union(tb, false), sliceUnion(a, b), func(k int64) uint64 {
+		if _, ok := slices.BinarySearch(a, k); ok {
+			return 1
+		}
+		return 2
+	})
+	check("intersect selfVals", ta.Intersect(tb, false), common, func(int64) uint64 { return 1 })
+	check("intersect otherVals", ta.Intersect(tb, true), common, func(int64) uint64 { return 2 })
+	check("difference", ta.DifferenceTree(tb), sliceDiff(a, b), func(int64) uint64 { return 1 })
+	check("symdiff", ta.SymmetricDifference(tb), sliceSymDiff(a, b), func(k int64) uint64 {
+		if inB(k) {
+			t.Fatalf("symdiff kept common key %d", k)
+		}
+		if _, ok := slices.BinarySearch(a, k); ok {
+			return 1
+		}
+		return 2
+	})
+}
+
+// TestSetAlgebraEmptyAndSelf covers the degenerate operand shapes.
+func TestSetAlgebraEmptyAndSelf(t *testing.T) {
+	p := parallel.NewPool(4)
+	keys := sortedUniqueKeys(3, 3000, 1<<20)
+	tr := NewFromSorted(Config{}, p, keys)
+	empty := New[int64, struct{}](Config{}, p)
+
+	if got := tr.Union(empty, true).Keys(); !slices.Equal(got, keys) {
+		t.Fatal("A ∪ ∅ != A")
+	}
+	if got := empty.Union(tr, true).Keys(); !slices.Equal(got, keys) {
+		t.Fatal("∅ ∪ A != A")
+	}
+	if got := tr.Intersect(empty, false).Len(); got != 0 {
+		t.Fatal("A ∩ ∅ != ∅")
+	}
+	if got := tr.DifferenceTree(empty).Keys(); !slices.Equal(got, keys) {
+		t.Fatal("A \\ ∅ != A")
+	}
+	if got := empty.DifferenceTree(tr).Len(); got != 0 {
+		t.Fatal("∅ \\ A != ∅")
+	}
+	if got := tr.SymmetricDifference(empty).Keys(); !slices.Equal(got, keys) {
+		t.Fatal("A △ ∅ != A")
+	}
+
+	if got := tr.Union(tr, true).Keys(); !slices.Equal(got, keys) {
+		t.Fatal("A ∪ A != A")
+	}
+	if got := tr.Intersect(tr, false).Keys(); !slices.Equal(got, keys) {
+		t.Fatal("A ∩ A != A")
+	}
+	if got := tr.DifferenceTree(tr).Len(); got != 0 {
+		t.Fatal("A \\ A != ∅")
+	}
+	if got := tr.SymmetricDifference(tr).Len(); got != 0 {
+		t.Fatal("A △ A != ∅")
+	}
+}
+
+// TestSetAlgebraAfterChurn runs the whole-tree operations on operands
+// that carry dead keys from earlier batched removals, so flatten must
+// skip logically deleted entries before combining.
+func TestSetAlgebraAfterChurn(t *testing.T) {
+	p := parallel.NewPool(4)
+	r := rand.New(rand.NewSource(17))
+	ta := New[int64, struct{}](Config{LeafCap: 8, RebuildFactor: 4}, p)
+	tb := New[int64, struct{}](Config{LeafCap: 8, RebuildFactor: 4}, p)
+	refA, refB := refSet{}, refSet{}
+	for round := 0; round < 10; round++ {
+		ins, rem := randomBatch(r, 2000, 1<<14), randomBatch(r, 1500, 1<<14)
+		ta.InsertBatched(ins)
+		refA.insertBatch(ins)
+		ta.RemoveBatched(rem)
+		refA.removeBatch(rem)
+		ins, rem = randomBatch(r, 2000, 1<<14), randomBatch(r, 1500, 1<<14)
+		tb.InsertBatched(ins)
+		refB.insertBatch(ins)
+		tb.RemoveBatched(rem)
+		refB.removeBatch(rem)
+	}
+	a, b := refA.sorted(), refB.sorted()
+	if got := ta.Union(tb, true).Keys(); !slices.Equal(got, sliceUnion(a, b)) {
+		t.Fatal("union over churned operands diverged")
+	}
+	if got := ta.Intersect(tb, false).Keys(); !slices.Equal(got, sliceIntersect(a, b)) {
+		t.Fatal("intersect over churned operands diverged")
+	}
+	if got := ta.SymmetricDifference(tb).Keys(); !slices.Equal(got, sliceSymDiff(a, b)) {
+		t.Fatal("symdiff over churned operands diverged")
+	}
+}

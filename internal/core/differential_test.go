@@ -260,70 +260,3 @@ func TestSetAlgebraIdentities(t *testing.T) {
 		t.Fatal("ContainsBatched does not implement intersection")
 	}
 }
-
-// checkInvariants validates rep sortedness, child key ranges, lengths,
-// and size bookkeeping of the whole tree.
-func checkInvariants(t *testing.T, tr *Tree[int64, struct{}]) {
-	t.Helper()
-	var walk func(v *node[int64, struct{}], lo, hi *int64) int
-	walk = func(v *node[int64, struct{}], lo, hi *int64) int {
-		if v == nil {
-			return 0
-		}
-		if len(v.rep) == 0 {
-			t.Fatalf("node with empty rep")
-		}
-		if len(v.exists) != len(v.rep) {
-			t.Fatalf("exists/rep length mismatch: %d vs %d", len(v.exists), len(v.rep))
-		}
-		if len(v.vals) != len(v.rep) {
-			t.Fatalf("vals/rep length mismatch: %d vs %d", len(v.vals), len(v.rep))
-		}
-		if !slices.IsSorted(v.rep) {
-			t.Fatalf("rep not sorted")
-		}
-		for i := 1; i < len(v.rep); i++ {
-			if v.rep[i] == v.rep[i-1] {
-				t.Fatalf("duplicate rep key %d", v.rep[i])
-			}
-		}
-		if lo != nil && v.rep[0] <= *lo {
-			t.Fatalf("rep[0]=%d <= lower bound %d", v.rep[0], *lo)
-		}
-		if hi != nil && v.rep[len(v.rep)-1] >= *hi {
-			t.Fatalf("rep max %d >= upper bound %d", v.rep[len(v.rep)-1], *hi)
-		}
-		live := 0
-		for _, ok := range v.exists {
-			if ok {
-				live++
-			}
-		}
-		if !v.isLeaf() {
-			if len(v.children) != len(v.rep)+1 {
-				t.Fatalf("children/rep length mismatch")
-			}
-			for i, c := range v.children {
-				var clo, chi *int64
-				if i > 0 {
-					clo = &v.rep[i-1]
-				} else {
-					clo = lo
-				}
-				if i < len(v.rep) {
-					chi = &v.rep[i]
-				} else {
-					chi = hi
-				}
-				live += walk(c, clo, chi)
-			}
-		}
-		if v.size != live {
-			t.Fatalf("size %d != live count %d", v.size, live)
-		}
-		return live
-	}
-	if got := walk(tr.root, nil, nil); got != tr.Len() {
-		t.Fatalf("walked live count %d != Len %d", got, tr.Len())
-	}
-}

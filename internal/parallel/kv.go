@@ -123,7 +123,7 @@ func DifferenceKV[K Ordered, V any](p *Pool, ak []K, av []V, b []K) ([]K, []V) {
 	// b that can overlap its keys, located by one binary search.
 	counts := make([]int, blocks)
 	For(p, blocks, 1, func(blk int) {
-		lo, hi := blk*bs, min((blk+1)*bs, n)
+		lo, hi := min(blk*bs, n), min((blk+1)*bs, n)
 		counts[blk] = diffKVBlock[K, V](ak[lo:hi], nil, b, nil, nil)
 	})
 	total := ScanInPlace(nil, counts)
@@ -131,7 +131,7 @@ func DifferenceKV[K Ordered, V any](p *Pool, ak []K, av []V, b []K) ([]K, []V) {
 	outV := make([]V, total)
 	// Pass 2: scatter survivors at the scanned offsets.
 	For(p, blocks, 1, func(blk int) {
-		lo, hi := blk*bs, min((blk+1)*bs, n)
+		lo, hi := min(blk*bs, n), min((blk+1)*bs, n)
 		diffKVBlock(ak[lo:hi], av[lo:hi], b, outK[counts[blk]:], outV[counts[blk]:])
 	})
 	return outK, outV

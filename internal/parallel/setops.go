@@ -38,14 +38,14 @@ func setOp[K Ordered](p *Pool, a, b []K, keepPresent bool) []K {
 	// that can overlap its keys, located by one binary search.
 	counts := make([]int, blocks)
 	For(p, blocks, 1, func(blk int) {
-		lo, hi := blk*bs, min((blk+1)*bs, n)
+		lo, hi := min(blk*bs, n), min((blk+1)*bs, n)
 		counts[blk] = setOpBlock(a[lo:hi], b, keepPresent, nil)
 	})
 	total := ScanInPlace(nil, counts)
 	out := make([]K, total)
 	// Pass 2: scatter survivors at the scanned offsets.
 	For(p, blocks, 1, func(blk int) {
-		lo, hi := blk*bs, min((blk+1)*bs, n)
+		lo, hi := min(blk*bs, n), min((blk+1)*bs, n)
 		setOpBlock(a[lo:hi], b, keepPresent, out[counts[blk]:])
 	})
 	return out

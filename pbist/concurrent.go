@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/combine"
 	"repro/internal/core"
+	"repro/internal/parallel"
 )
 
 // ConcurrentOptions configures a Concurrent frontend: the engine
@@ -55,6 +56,11 @@ func (o ConcurrentOptions) combineOptions() combine.Options {
 // Concurrent panic.
 type Concurrent[K Key, V any] struct {
 	cb *combine.Combiner[K, V]
+	// opts and pool are remembered so snapshot-derived Maps
+	// (SnapshotMap, UnionSnapshot) inherit the frontend's engine
+	// configuration and worker pool.
+	opts ConcurrentOptions
+	pool *parallel.Pool
 }
 
 // NewConcurrent returns an empty concurrent map frontend and starts
@@ -62,7 +68,11 @@ type Concurrent[K Key, V any] struct {
 func NewConcurrent[K Key, V any](opts ConcurrentOptions) *Concurrent[K, V] {
 	p := opts.pool()
 	t := core.New[K, V](opts.coreConfig(), p)
-	return &Concurrent[K, V]{cb: combine.New(combine.Engine[K, V](t), p, opts.combineOptions())}
+	return &Concurrent[K, V]{
+		cb:   combine.New(combine.Engine[K, V](t), p, opts.combineOptions()),
+		opts: opts,
+		pool: p,
+	}
 }
 
 // NewConcurrentFromItems returns a concurrent frontend bulk-loaded
@@ -78,7 +88,11 @@ func NewConcurrentFromItems[K Key, V any](opts ConcurrentOptions, keys []K, vals
 	m.assumeSorted = opts.AssumeSorted
 	nk, nv := m.normalizePairs(keys, vals)
 	t := core.NewFromSortedKV(opts.coreConfig(), p, nk, nv)
-	return &Concurrent[K, V]{cb: combine.New(combine.Engine[K, V](t), p, opts.combineOptions())}
+	return &Concurrent[K, V]{
+		cb:   combine.New(combine.Engine[K, V](t), p, opts.combineOptions()),
+		opts: opts,
+		pool: p,
+	}
 }
 
 // check panics when an operation is attempted on a closed Concurrent.
@@ -186,6 +200,47 @@ func (c *Concurrent[K, V]) Keys() []K {
 	ks, err := c.cb.Keys()
 	check(err)
 	return ks
+}
+
+// SnapshotMap materializes one atomic snapshot of the frontend as an
+// independent Map: the snapshot linearizes after every operation
+// submitted before the call (the same fence as Items), and the
+// returned Map — which shares the frontend's engine configuration and
+// worker pool but none of its data — can then run whole-tree set
+// algebra, range queries, or further batches without touching the live
+// structure.
+func (c *Concurrent[K, V]) SnapshotMap() *Map[K, V] {
+	ks, vs := c.Items() // atomic fence; sorted duplicate-free
+	m := &Map[K, V]{}
+	m.pool = c.pool
+	m.assumeSorted = c.opts.AssumeSorted
+	m.t = core.NewFromSortedKV(c.opts.coreConfig(), c.pool, ks, vs)
+	return m
+}
+
+// UnionSnapshot returns a Map holding the union of snapshots of c and
+// other, with policy picking the surviving value on common keys
+// (LeftWins keeps c's). Each snapshot is individually linearizable —
+// c's fence is taken first, then other's — but the pair is not
+// mutually atomic: operations landing between the two fences appear in
+// other's snapshot only. The result shares c's engine configuration
+// and pool and is detached from both frontends.
+func (c *Concurrent[K, V]) UnionSnapshot(other *Concurrent[K, V], policy MergePolicy) *Map[K, V] {
+	ak, av := c.Items()
+	bk, bv := other.Items()
+	p := c.pool
+	var mk []K
+	var mv []V
+	if policy == RightWins {
+		mk, mv = parallel.UnionKV(p, ak, av, bk, bv)
+	} else {
+		mk, mv = parallel.UnionKV(p, bk, bv, ak, av)
+	}
+	m := &Map[K, V]{}
+	m.pool = p
+	m.assumeSorted = c.opts.AssumeSorted
+	m.t = core.NewFromSortedKV(c.opts.coreConfig(), p, mk, mv)
+	return m
 }
 
 // Close stops accepting operations, waits for every already submitted

@@ -52,6 +52,50 @@ func ExampleTree_Difference() {
 	// 5
 }
 
+func ExampleTree_Union() {
+	// Union combines two whole trees into a new one; neither operand
+	// is modified.
+	a := pbist.NewFromKeys(pbist.Options{Workers: 2}, []int64{1, 3, 5})
+	b := pbist.NewFromKeys(pbist.Options{Workers: 2}, []int64{3, 4, 5, 6})
+	u := a.Union(b)
+	fmt.Println(u.Keys())
+	fmt.Println(a.Len(), b.Len()) // operands untouched
+	// Output:
+	// [1 3 4 5 6]
+	// 3 4
+}
+
+func ExampleTree_Split() {
+	// Split partitions a set at a pivot; Join is its inverse for
+	// non-overlapping key ranges.
+	a := pbist.NewFromKeys(pbist.Options{Workers: 2}, []int64{1, 3, 5, 7, 9})
+	low, high := a.Split(5)
+	fmt.Println(low.Keys(), high.Keys())
+	fmt.Println(low.Join(high).Keys())
+	// Output:
+	// [1 3] [5 7 9]
+	// [1 3 5 7 9]
+}
+
+func ExampleMap_Union() {
+	// Value-carrying union takes a merge policy for keys present in
+	// both maps: LeftWins keeps the receiver's value, RightWins the
+	// argument's.
+	may := pbist.NewMapFromItems(pbist.Options{Workers: 2},
+		[]int64{1, 2, 3}, []string{"a1", "a2", "a3"})
+	june := pbist.NewMapFromItems(pbist.Options{Workers: 2},
+		[]int64{2, 3, 4}, []string{"b2", "b3", "b4"})
+	merged := june.Union(may, pbist.LeftWins) // june's values win on 2, 3
+	for k, v := range merged.All() {
+		fmt.Println(k, v)
+	}
+	// Output:
+	// 1 a1
+	// 2 b2
+	// 3 b3
+	// 4 b4
+}
+
 func ExampleMap_GetBatch() {
 	// A Map runs the same batched machinery with a value per key.
 	m := pbist.NewMap[int64, string](pbist.Options{Workers: 2})

@@ -7,11 +7,14 @@
 //
 //   - Tree[K] is the sorted set: single-key operations (Contains,
 //     Insert, Remove), batched operations (ContainsBatch, InsertBatch,
-//     RemoveBatch), and set algebra (Intersection, Difference).
+//     RemoveBatch), slice algebra (Intersection, Difference), and
+//     whole-tree algebra (Union, Intersect, DiffTree, SymDiff, Split,
+//     Join — non-mutating, returning new trees).
 //   - Map[K, V] is the sorted map: the same batched machinery carrying
 //     a value with every key (Get/GetBatch, Put/PutBatch,
-//     Delete/DeleteBatch) plus ordered iteration (All, Ascend) and
-//     value-carrying Min/Max/Select/Range.
+//     Delete/DeleteBatch) plus ordered iteration (All, Ascend),
+//     value-carrying Min/Max/Select/Range, and the same whole-tree
+//     algebra with an explicit MergePolicy on Union/Intersect.
 //   - Concurrent[K, V] is the shared frontend: the map engine served
 //     to arbitrarily many goroutines through a combining queue, for
 //     workloads where operations arrive one key at a time from
@@ -310,21 +313,16 @@ func (tr *Tree[K]) Intersection(keys []K) []K {
 }
 
 // Difference returns the elements of the set that do not occur in
-// keys, sorted: A \ keys. It is RemoveBatch without the mutation (and
-// Intersection's complement on the set side): the batch is resolved
-// with the same ContainsBatched + FilterIndex pass, and the surviving
-// present keys are subtracted from the flattened set. The set is not
-// modified.
+// keys, sorted: A \ keys. It is RemoveBatch without the mutation. The
+// batch goes through the same normalize fast path as every other
+// batched method — already-sorted duplicate-free input is used as-is,
+// never cloned or re-sorted — and is subtracted from the flattened set
+// in one parallel pass. The set is not modified.
 func (tr *Tree[K]) Difference(keys []K) []K {
 	if len(keys) == 0 || tr.Len() == 0 {
 		return tr.Keys()
 	}
-	// Subtracting A ∩ keys rather than the raw batch deliberately
-	// routes through Intersection's ContainsBatched + FilterIndex
-	// pass: both set-algebra queries then share one normalization and
-	// batch-resolution policy (a subtraction over the normalized batch
-	// alone would also be correct, and skips the batched traversal).
-	return parallel.Difference(tr.pool, tr.Keys(), tr.Intersection(keys))
+	return parallel.Difference(tr.pool, tr.Keys(), tr.normalize(keys))
 }
 
 // Min returns the smallest key in the set; ok is false when empty.
