@@ -405,6 +405,61 @@ func BenchmarkConcurrentGet(b *testing.B) {
 	}
 }
 
+// Steady-state write-path allocation benchmarks: a 1M-key tree churned
+// with 10k-key batches. Run with -benchmem: allocs/op and B/op here are
+// the committed regression surface for the arena-backed rebuild engine
+// (CI checks BenchmarkPutBatched against a ceiling). Each iteration
+// times one batched write; the inverse operation runs untimed so the
+// tree stays at its steady-state size and the same batches cycle
+// through insert, revive, logical-delete, and rebuild paths forever.
+const (
+	allocBenchN = 1_000_000
+	allocBenchM = 10_000
+)
+
+func allocBenchFixtures() (*core.Tree[int64, struct{}], [][]int64) {
+	w := bench.Workload{N: allocBenchN, M: allocBenchM, Seed: 0x5eed}.WithDefaults()
+	tree := core.NewFromSorted(core.Config{}, parallel.NewPool(8), w.BaseKeys())
+	batches := make([][]int64, 16)
+	for i := range batches {
+		batches[i] = w.Batch(i)
+	}
+	// Warm to steady state: one full churn cycle per batch so later
+	// iterations see the stable mix of inserts, revives, and rebuilds.
+	for _, bat := range batches {
+		tree.InsertBatched(bat)
+		tree.RemoveBatched(bat)
+	}
+	return tree, batches
+}
+
+func BenchmarkPutBatched(b *testing.B) {
+	tree, batches := allocBenchFixtures()
+	zeros := make([]struct{}, allocBenchM)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bat := batches[i%len(batches)]
+		tree.PutBatched(bat, zeros[:len(bat)])
+		b.StopTimer()
+		tree.RemoveBatched(bat)
+		b.StartTimer()
+	}
+	reportKeysPerSec(b, allocBenchM)
+}
+
+func BenchmarkRemoveBatched(b *testing.B) {
+	tree, batches := allocBenchFixtures()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bat := batches[i%len(batches)]
+		b.StopTimer()
+		tree.InsertBatched(bat)
+		b.StartTimer()
+		tree.RemoveBatched(bat)
+	}
+	reportKeysPerSec(b, allocBenchM)
+}
+
 // Bulk-load throughput: the §7.3 parallel ideal build.
 func BenchmarkBuildIdeal(b *testing.B) {
 	base, _ := fixtures()

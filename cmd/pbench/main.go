@@ -148,13 +148,17 @@ func fatalUsage(msg string) {
 
 func runFig17(w bench.Workload, workers []int, reps int) ([]string, [][]string) {
 	rows := bench.RunFig17(w, core.Config{}, workers, reps)
-	header := []string{"workers", "contains_ms", "insert_ms", "remove_ms", "speedup_c", "speedup_i", "speedup_r"}
+	header := []string{"workers", "contains_ms", "insert_ms", "remove_ms",
+		"speedup_c", "speedup_i", "speedup_r",
+		"insert_b_op", "insert_allocs_op", "remove_b_op", "remove_allocs_op"}
 	cells := make([][]string, 0, len(rows))
 	for _, r := range rows {
 		cells = append(cells, []string{
 			strconv.Itoa(r.Workers),
 			bench.MS(r.ContainsMS), bench.MS(r.InsertMS), bench.MS(r.RemoveMS),
 			bench.X(r.SpeedupC), bench.X(r.SpeedupI), bench.X(r.SpeedupR),
+			strconv.FormatUint(r.Insert.BytesOp, 10), strconv.FormatUint(r.Insert.AllocsOp, 10),
+			strconv.FormatUint(r.Remove.BytesOp, 10), strconv.FormatUint(r.Remove.AllocsOp, 10),
 		})
 	}
 	return header, cells
@@ -162,13 +166,15 @@ func runFig17(w bench.Workload, workers []int, reps int) ([]string, [][]string) 
 
 func runMap(w bench.Workload, workers []int, reps int) ([]string, [][]string) {
 	rows := bench.RunMapWorkload(w, workers, reps)
-	header := []string{"workers", "put_ms", "get_ms", "speedup_p", "speedup_g"}
+	header := []string{"workers", "put_ms", "get_ms", "speedup_p", "speedup_g",
+		"put_b_op", "put_allocs_op"}
 	cells := make([][]string, 0, len(rows))
 	for _, r := range rows {
 		cells = append(cells, []string{
 			strconv.Itoa(r.Workers),
 			bench.MS(r.PutMS), bench.MS(r.GetMS),
 			bench.X(r.SpeedupP), bench.X(r.SpeedupG),
+			strconv.FormatUint(r.Put.BytesOp, 10), strconv.FormatUint(r.Put.AllocsOp, 10),
 		})
 	}
 	return header, cells
@@ -192,13 +198,15 @@ func runConcurrent(w bench.Workload, clients []int, reps int) ([]string, [][]str
 
 func runSetAlgebra(w bench.Workload, workers, reps int) ([]string, [][]string) {
 	rows := bench.RunSetAlgebraWorkload(w, workers, reps)
-	header := []string{"ratio", "b_keys", "union_ms", "intersect_ms", "diff_ms", "symdiff_ms", "slice_union_ms", "speedup_u"}
+	header := []string{"ratio", "b_keys", "union_ms", "intersect_ms", "diff_ms", "symdiff_ms",
+		"slice_union_ms", "speedup_u", "union_b_op", "union_allocs_op"}
 	cells := make([][]string, 0, len(rows))
 	for _, r := range rows {
 		cells = append(cells, []string{
 			r.Ratio, strconv.Itoa(r.BKeys),
 			bench.MS(r.UnionMS), bench.MS(r.InterMS), bench.MS(r.DiffMS), bench.MS(r.SymMS),
 			bench.MS(r.SliceMS), bench.X(r.SpeedupU),
+			strconv.FormatUint(r.Union.BytesOp, 10), strconv.FormatUint(r.Union.AllocsOp, 10),
 		})
 	}
 	return header, cells

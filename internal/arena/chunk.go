@@ -1,0 +1,40 @@
+package arena
+
+// Chunk is contiguous node storage for one rebuilt subtree: three
+// backing arrays — keys, values, liveness — of exactly n slots, where
+// n is the subtree's key count. Every key of an ideally built subtree
+// is stored exactly once (inner Rep slots hold some, leaf arrays hold
+// the rest), so the builder can carve each node's rep/vals/exists
+// triple out of these arrays at deterministic offsets with no second
+// sizing pass and no per-node allocations.
+//
+// A Chunk is write-once plumbing for a build: nodes keep slicing into
+// the backing arrays for their lifetime, so the chunk's memory is
+// released by the GC only when the last node built from it is
+// unreachable. It is not recycled through a Scratch — live trees own
+// it — but it collapses the 3·(nodes) allocations of a rebuild into 3.
+type Chunk[K any, V any] struct {
+	Keys   []K
+	Vals   []V
+	Exists []bool
+}
+
+// NewChunk allocates storage for a subtree of n keys.
+func NewChunk[K any, V any](n int) Chunk[K, V] {
+	return Chunk[K, V]{
+		Keys:   make([]K, n),
+		Vals:   make([]V, n),
+		Exists: make([]bool, n),
+	}
+}
+
+// Carve returns the storage triple for one node's n slots starting at
+// base. The slices are capacity-clamped so a later append on a node's
+// arrays (leaf merges grow leaves) can never bleed into a sibling's
+// slots. Callers hand out disjoint [base, base+n) windows; Carve does
+// not track them.
+func (c Chunk[K, V]) Carve(base, n int) (keys []K, vals []V, exists []bool) {
+	return c.Keys[base : base+n : base+n],
+		c.Vals[base : base+n : base+n],
+		c.Exists[base : base+n : base+n]
+}

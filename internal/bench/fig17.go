@@ -7,7 +7,9 @@ import (
 
 // Fig17Row is one point of the paper's Fig. 17: the time of each
 // batched operation at a given worker count, plus speedup relative to
-// one worker.
+// one worker and -benchmem-style allocation counters per batched
+// operation (the perf trajectory of the arena-backed rebuild engine
+// shows up here as falling allocs/op at flat-or-better times).
 type Fig17Row struct {
 	Workers    int
 	ContainsMS float64
@@ -16,6 +18,8 @@ type Fig17Row struct {
 	SpeedupC   float64
 	SpeedupI   float64
 	SpeedupR   float64
+	Insert     AllocStat // per InsertBatched call
+	Remove     AllocStat // per RemoveBatched call
 }
 
 // RunFig17 reproduces the three scaling curves of Fig. 17: it builds
@@ -48,17 +52,27 @@ func RunFig17(w Workload, cfg core.Config, workers []int, reps int) []Fig17Row {
 	for _, nw := range workers {
 		pool := parallel.NewPool(nw)
 		var cms, ims, rms float64
+		var ins, rem AllocStat
 		for rep := 0; rep < reps; rep++ {
 			tree := core.NewFromSorted(cfg, pool, base)
 			cms += timeMS(func() { tree.ContainsBatched(searchB[rep]) })
-			ims += timeMS(func() { tree.InsertBatched(insertB[rep]) })
-			rms += timeMS(func() { tree.RemoveBatched(removeB[rep]) })
+			ms, st := timeAllocMS(func() { tree.InsertBatched(insertB[rep]) })
+			ims += ms
+			ins.BytesOp += st.BytesOp
+			ins.AllocsOp += st.AllocsOp
+			ms, st = timeAllocMS(func() { tree.RemoveBatched(removeB[rep]) })
+			rms += ms
+			rem.BytesOp += st.BytesOp
+			rem.AllocsOp += st.AllocsOp
 		}
+		ur := uint64(reps)
 		rows = append(rows, Fig17Row{
 			Workers:    nw,
 			ContainsMS: cms / float64(reps),
 			InsertMS:   ims / float64(reps),
 			RemoveMS:   rms / float64(reps),
+			Insert:     AllocStat{BytesOp: ins.BytesOp / ur, AllocsOp: ins.AllocsOp / ur},
+			Remove:     AllocStat{BytesOp: rem.BytesOp / ur, AllocsOp: rem.AllocsOp / ur},
 		})
 	}
 	if len(rows) > 0 {

@@ -17,6 +17,7 @@ type MapRow struct {
 	GetMS    float64
 	SpeedupP float64
 	SpeedupG float64
+	Put      AllocStat // per PutBatched call (-benchmem style)
 }
 
 // MapPayload derives the 8-byte benchmark payload stored under key.
@@ -63,15 +64,21 @@ func RunMapWorkload(w Workload, workers []int, reps int) []MapRow {
 	for _, nw := range workers {
 		pool := parallel.NewPool(nw)
 		var pms, gms float64
+		var put AllocStat
 		for rep := 0; rep < reps; rep++ {
 			tree := core.NewFromSortedKV(core.Config{}, pool, base, baseVals)
-			pms += timeMS(func() { tree.PutBatched(putB[rep], putV[rep]) })
+			ms, st := timeAllocMS(func() { tree.PutBatched(putB[rep], putV[rep]) })
+			pms += ms
+			put.BytesOp += st.BytesOp
+			put.AllocsOp += st.AllocsOp
 			gms += timeMS(func() { tree.GetBatched(getB[rep]) })
 		}
+		ur := uint64(reps)
 		rows = append(rows, MapRow{
 			Workers: nw,
 			PutMS:   pms / float64(reps),
 			GetMS:   gms / float64(reps),
+			Put:     AllocStat{BytesOp: put.BytesOp / ur, AllocsOp: put.AllocsOp / ur},
 		})
 	}
 	if len(rows) > 0 {

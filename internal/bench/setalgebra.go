@@ -22,8 +22,9 @@ type SetAlgebraRow struct {
 	InterMS  float64
 	DiffMS   float64
 	SymMS    float64
-	SliceMS  float64 // sequential sorted-slice union of the same operands
-	SpeedupU float64 // SliceMS / UnionMS
+	SliceMS  float64   // sequential sorted-slice union of the same operands
+	SpeedupU float64   // SliceMS / UnionMS
+	Union    AllocStat // per Union call (-benchmem style)
 }
 
 // SetAlgebraRatios are the |A|:|B| operand-size ratios the experiment
@@ -84,7 +85,7 @@ func RunSetAlgebraWorkload(w Workload, workers, reps int) []SetAlgebraRow {
 		treeB := core.NewFromSorted(core.Config{}, pool, bKeys)
 
 		row := SetAlgebraRow{Ratio: fmt.Sprintf("1:%d", ratio), BKeys: len(bKeys)}
-		row.UnionMS = meanMS(reps, func(int) func() {
+		row.UnionMS, row.Union = meanAllocMS(reps, func(int) func() {
 			return func() { treeA.Union(treeB, true) }
 		})
 		row.InterMS = meanMS(reps, func(int) func() {

@@ -7,6 +7,7 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/dist"
@@ -135,4 +136,47 @@ func meanMS(reps int, mk func(rep int) func()) float64 {
 		total += timeMS(f)
 	}
 	return total / float64(reps)
+}
+
+// AllocStat is one measured operation's allocation cost in the
+// -benchmem style: heap bytes and allocation count per operation.
+type AllocStat struct {
+	BytesOp  uint64
+	AllocsOp uint64
+}
+
+// timeAllocMS runs f once and returns its wall time in milliseconds
+// plus the heap bytes and allocations it performed. The counters are
+// whole-process deltas (runtime.ReadMemStats); experiment runners
+// execute one operation at a time, so the delta is attributable to f.
+// ReadMemStats stops the world briefly — outside the timed section.
+func timeAllocMS(f func()) (ms float64, st AllocStat) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	ms = timeMS(f)
+	runtime.ReadMemStats(&after)
+	st.BytesOp = after.TotalAlloc - before.TotalAlloc
+	st.AllocsOp = after.Mallocs - before.Mallocs
+	return ms, st
+}
+
+// meanAllocMS is meanMS with allocation tracking: it averages wall
+// time and the per-operation allocation counters over reps runs.
+func meanAllocMS(reps int, mk func(rep int) func()) (float64, AllocStat) {
+	if reps < 1 {
+		reps = 1
+	}
+	total := 0.0
+	var bytes, allocs uint64
+	for rep := 0; rep < reps; rep++ {
+		f := mk(rep)
+		ms, st := timeAllocMS(f)
+		total += ms
+		bytes += st.BytesOp
+		allocs += st.AllocsOp
+	}
+	return total / float64(reps), AllocStat{
+		BytesOp:  bytes / uint64(reps),
+		AllocsOp: allocs / uint64(reps),
+	}
 }

@@ -31,6 +31,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/arena"
 	"repro/internal/parallel"
 )
 
@@ -63,6 +64,11 @@ type Options struct {
 	// arrivals stall (see loop), so MaxWait is a bound, not a tax paid
 	// on every epoch. Default 200µs.
 	MaxWait time.Duration
+	// NoBufferReuse turns off the recycling of per-epoch scratch
+	// buffers (event lists, distinct-key arrays, write batches)
+	// through the combiner's arena. The default (false) recycles
+	// them across epochs; results are identical either way.
+	NoBufferReuse bool
 }
 
 func (o Options) withDefaults() Options {
@@ -130,6 +136,17 @@ type Combiner[K cmp.Ordered, V any] struct {
 
 	opPool sync.Pool
 
+	// Per-epoch scratch, recycled across epochs through the same
+	// size-classed free lists the core tree uses (internal/arena).
+	// Only runEpoch borrows from these, and it returns every buffer
+	// before the epoch's clients are woken, so no recycled buffer is
+	// ever reachable from two epochs — or from any client — at once.
+	evScr   arena.Scratch[event[K]]
+	keyScr  arena.Scratch[K]
+	valScr  arena.Scratch[V]
+	boolScr arena.Scratch[bool]
+	i32Scr  arena.Scratch[int32]
+
 	smu sync.Mutex
 	st  counters
 }
@@ -176,6 +193,13 @@ func New[K cmp.Ordered, V any](eng Engine[K, V], pool *parallel.Pool, opts Optio
 		opts:     opts.withDefaults(),
 		wake:     make(chan struct{}, 1),
 		loopDone: make(chan struct{}),
+	}
+	if c.opts.NoBufferReuse {
+		c.evScr.Disabled = true
+		c.keyScr.Disabled = true
+		c.valScr.Disabled = true
+		c.boolScr.Disabled = true
+		c.i32Scr.Disabled = true
 	}
 	c.opPool.New = func() any {
 		return &op[K, V]{done: make(chan struct{}, 1)}

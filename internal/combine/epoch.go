@@ -30,7 +30,9 @@ func (c *Combiner[K, V]) runEpoch(ops []*op[K, V], keyCount int, sized bool) {
 	start := time.Now()
 
 	// Flatten the epoch into events. Fences carry no keys and resolve
-	// after the writes.
+	// after the writes. The event list and every per-run array below
+	// are arena scratch: borrowed here, returned at the end of this
+	// epoch (before clients wake), recycled by the next epoch.
 	nev := 0
 	needVals := false
 	for _, o := range ops {
@@ -39,7 +41,8 @@ func (c *Combiner[K, V]) runEpoch(ops []*op[K, V], keyCount int, sized bool) {
 			needVals = true
 		}
 	}
-	events := make([]event[K], 0, nev)
+	evBuf := c.evScr.Get(nev)
+	events := evBuf[:0]
 	for i, o := range ops {
 		for j := range o.keys {
 			events = append(events, event[K]{key: o.keys[j], op: int32(i), sub: int32(j)})
@@ -56,8 +59,10 @@ func (c *Combiner[K, V]) runEpoch(ops []*op[K, V], keyCount int, sized bool) {
 	})
 
 	// Distinct keys and their event runs.
-	readKeys := make([]K, 0, len(events))
-	runStart := make([]int32, 0, len(events)+1)
+	rkBuf := c.keyScr.Get(nev)
+	rsBuf := c.i32Scr.Get(nev + 1)
+	readKeys := rkBuf[:0]
+	runStart := rsBuf[:0]
 	for i := range events {
 		if i == 0 || events[i].key != events[i-1].key {
 			runStart = append(runStart, int32(i))
@@ -85,9 +90,9 @@ func (c *Combiner[K, V]) runEpoch(ops []*op[K, V], keyCount int, sized bool) {
 	// writes its op's answer at its own position, and the key's final
 	// state decides the write traversal below. Distinct keys never
 	// share a result position, so the scatter is race-free.
-	putMark := make([]bool, nruns)
-	delMark := make([]bool, nruns)
-	winVal := make([]V, nruns)
+	putMark := c.boolScr.GetZero(nruns)
+	delMark := c.boolScr.GetZero(nruns)
+	winVal := c.valScr.GetZero(nruns)
 	parallel.For(c.pool, nruns, 256, func(r int) {
 		present := preFound[r]
 		var val V
@@ -132,10 +137,15 @@ func (c *Combiner[K, V]) runEpoch(ops []*op[K, V], keyCount int, sized bool) {
 
 	// Gather the surviving writes in run order — readKeys is sorted, so
 	// the write batches are sorted and duplicate-free as the engine
-	// requires — and apply them with one traversal each.
-	var putK []K
-	var putV []V
-	var delK []K
+	// requires — and apply them with one traversal each. The engine
+	// never retains a batch slice (writes copy into tree-owned
+	// storage), so scratch-backed batches are safe here.
+	pkBuf := c.keyScr.Get(nruns)
+	pvBuf := c.valScr.Get(nruns)
+	dkBuf := c.keyScr.Get(nruns)
+	putK := pkBuf[:0]
+	putV := pvBuf[:0]
+	delK := dkBuf[:0]
 	for r := 0; r < nruns; r++ {
 		switch {
 		case putMark[r]:
@@ -165,6 +175,18 @@ func (c *Combiner[K, V]) runEpoch(ops []*op[K, V], keyCount int, sized bool) {
 			o.rkeys = c.eng.Keys()
 		}
 	}
+
+	// Every scratch buffer goes back before the clients wake: nothing
+	// below reads them, so the next epoch is free to recycle.
+	c.evScr.Put(evBuf)
+	c.keyScr.Put(rkBuf)
+	c.i32Scr.Put(rsBuf)
+	c.boolScr.Put(putMark)
+	c.boolScr.Put(delMark)
+	c.valScr.Put(winVal)
+	c.keyScr.Put(pkBuf)
+	c.valScr.Put(pvBuf)
+	c.keyScr.Put(dkBuf)
 
 	// Statistics, then wake every client. Waiters read their results
 	// only after receiving from done, so the sends publish the scatter

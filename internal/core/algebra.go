@@ -16,8 +16,12 @@ import "repro/internal/parallel"
 //
 // All operations are non-mutating: the operands survive untouched and
 // the result is a fresh tree carrying the receiver's configuration and
-// pool. Operands whose combined size is small run fully sequentially,
-// mirroring the seqpath.go cutoff.
+// pool (each result owns a fresh arena — scratch buffers never cross
+// trees). Every temporary of the flatten-combine-rebuild cycle — both
+// flatten buffer pairs and the combine destination — is receiver-arena
+// scratch, returned once buildIdeal has copied the combined pairs into
+// the result's chunk storage. Operands whose combined size is small
+// run fully sequentially, mirroring the seqpath.go cutoff.
 
 // algebraPool returns the pool tree-to-tree combine kernels run on:
 // the tree's own pool, or nil (sequential) when the combined operand
@@ -30,15 +34,30 @@ func (t *Tree[K, V]) algebraPool(n int) *parallel.Pool {
 	return t.pool
 }
 
-// flattenPair flattens the receiver and other into sorted key/value
-// arrays, the two flattens themselves running in parallel with each
-// other on the receiver's pool.
-func (t *Tree[K, V]) flattenPair(other *Tree[K, V]) (ak []K, av []V, bk []K, bv []V) {
+// flattenPairScratch flattens the receiver and other into sorted
+// key/value arrays drawn from the receiver's arena, the two flattens
+// themselves running in parallel with each other on the receiver's
+// pool. The caller must return both pairs with t.ar.putKV once the
+// data has been copied onward.
+func (t *Tree[K, V]) flattenPairScratch(other *Tree[K, V]) (ak []K, av []V, bk []K, bv []V) {
 	t.pool.Do(
-		func() { ak, av = t.flatten(t.root) },
-		func() { bk, bv = t.flatten(other.root) },
+		func() { ak, av = t.flattenScratch(t.root) },
+		func() {
+			if other.root == nil {
+				return
+			}
+			bk = t.ar.keys.Get(other.root.size)
+			bv = t.ar.vals.Get(other.root.size)
+			t.fillFlat(other.root, bk, bv)
+		},
 	)
 	return ak, av, bk, bv
+}
+
+// combineDst borrows a combine destination large enough for any result
+// over operands of combined size n.
+func (t *Tree[K, V]) combineDst(n int) ([]K, []V) {
+	return t.ar.keys.Get(n), t.ar.vals.Get(n)
 }
 
 // rebuiltFrom wraps sorted duplicate-free keys/vals into a fresh
@@ -54,56 +73,78 @@ func (t *Tree[K, V]) rebuiltFrom(keys []K, vals []V) *Tree[K, V] {
 // and from t otherwise (for the set instantiation V = struct{} the
 // flag is irrelevant). Neither operand is modified.
 func (t *Tree[K, V]) Union(other *Tree[K, V], otherWins bool) *Tree[K, V] {
-	ak, av, bk, bv := t.flattenPair(other)
+	ak, av, bk, bv := t.flattenPairScratch(other)
 	p := t.algebraPool(len(ak) + len(bk))
+	dstK, dstV := t.combineDst(len(ak) + len(bk))
 	var mk []K
 	var mv []V
 	if otherWins {
-		mk, mv = parallel.UnionKV(p, ak, av, bk, bv)
+		mk, mv = parallel.UnionKVInto(p, ak, av, bk, bv, dstK, dstV)
 	} else {
-		mk, mv = parallel.UnionKV(p, bk, bv, ak, av)
+		mk, mv = parallel.UnionKVInto(p, bk, bv, ak, av, dstK, dstV)
 	}
-	return t.rebuiltFrom(mk, mv)
+	res := t.rebuiltFrom(mk, mv)
+	t.ar.putKV(ak, av)
+	t.ar.putKV(bk, bv)
+	t.ar.putKV(dstK, dstV)
+	return res
 }
 
 // Intersect returns a new tree holding the keys present in both t and
 // other, with values from other when otherWins is true and from t
 // otherwise. Neither operand is modified.
 func (t *Tree[K, V]) Intersect(other *Tree[K, V], otherWins bool) *Tree[K, V] {
-	ak, av, bk, bv := t.flattenPair(other)
+	ak, av, bk, bv := t.flattenPairScratch(other)
 	p := t.algebraPool(len(ak) + len(bk))
+	dstK, dstV := t.combineDst(min(len(ak), len(bk)))
+	xk, xv := ak, av
+	yk, yv := bk, bv
 	if otherWins {
-		ak, av, bk, bv = bk, bv, ak, av
+		xk, xv, yk, yv = bk, bv, ak, av
 	}
-	mk, mv := parallel.IntersectKV(p, ak, av, bk, bv)
-	return t.rebuiltFrom(mk, mv)
+	mk, mv := parallel.IntersectKVInto(p, xk, xv, yk, yv, dstK, dstV)
+	res := t.rebuiltFrom(mk, mv)
+	t.ar.putKV(ak, av)
+	t.ar.putKV(bk, bv)
+	t.ar.putKV(dstK, dstV)
+	return res
 }
 
 // DifferenceTree returns a new tree holding the keys of t that are not
 // in other, keeping t's values. Neither operand is modified. (The name
 // leaves Difference free for slice-operand helpers in the public API.)
 func (t *Tree[K, V]) DifferenceTree(other *Tree[K, V]) *Tree[K, V] {
-	ak, av, bk, _ := t.flattenPair(other)
+	ak, av, bk, bv := t.flattenPairScratch(other)
 	p := t.algebraPool(len(ak) + len(bk))
-	mk, mv := parallel.DifferenceKV(p, ak, av, bk)
-	return t.rebuiltFrom(mk, mv)
+	dstK, dstV := t.combineDst(len(ak))
+	mk, mv := parallel.DifferenceKVInto(p, ak, av, bk, dstK, dstV)
+	res := t.rebuiltFrom(mk, mv)
+	t.ar.putKV(ak, av)
+	t.ar.putKV(bk, bv)
+	t.ar.putKV(dstK, dstV)
+	return res
 }
 
 // SymmetricDifference returns a new tree holding the keys present in
 // exactly one of t and other, each key keeping the value of the
 // operand it came from. Neither operand is modified.
 func (t *Tree[K, V]) SymmetricDifference(other *Tree[K, V]) *Tree[K, V] {
-	ak, av, bk, bv := t.flattenPair(other)
+	ak, av, bk, bv := t.flattenPairScratch(other)
 	p := t.algebraPool(len(ak) + len(bk))
-	mk, mv := parallel.SymmetricDifferenceKV(p, ak, av, bk, bv)
-	return t.rebuiltFrom(mk, mv)
+	dstK, dstV := t.combineDst(len(ak) + len(bk))
+	mk, mv := parallel.SymmetricDifferenceKVInto(p, ak, av, bk, bv, dstK, dstV)
+	res := t.rebuiltFrom(mk, mv)
+	t.ar.putKV(ak, av)
+	t.ar.putKV(bk, bv)
+	t.ar.putKV(dstK, dstV)
+	return res
 }
 
 // Split partitions t by key into two new ideally balanced trees: left
 // holds the keys < key, right the keys >= key. t is not modified; the
 // two rebuilds run in parallel.
 func (t *Tree[K, V]) Split(key K) (left, right *Tree[K, V]) {
-	ak, av := t.flatten(t.root)
+	ak, av := t.flattenScratch(t.root)
 	cut := parallel.LowerBound(ak, key)
 	left = New[K, V](t.cfg, t.pool)
 	right = New[K, V](t.cfg, t.pool)
@@ -111,6 +152,7 @@ func (t *Tree[K, V]) Split(key K) (left, right *Tree[K, V]) {
 		func() { left.root = left.buildIdeal(ak[:cut], av[:cut]) },
 		func() { right.root = right.buildIdeal(ak[cut:], av[cut:]) },
 	)
+	t.ar.putKV(ak, av)
 	return left, right
 }
 
@@ -126,12 +168,15 @@ func (t *Tree[K, V]) Join(other *Tree[K, V]) *Tree[K, V] {
 			panic("core: Join requires every key of the receiver to be smaller than every key of the argument")
 		}
 	}
-	ak, av, bk, bv := t.flattenPair(other)
-	keys := make([]K, len(ak)+len(bk))
-	vals := make([]V, len(ak)+len(bk))
+	ak, av, bk, bv := t.flattenPairScratch(other)
+	keys, vals := t.combineDst(len(ak) + len(bk))
 	t.pool.Do(
 		func() { copy(keys, ak); copy(vals, av) },
 		func() { copy(keys[len(ak):], bk); copy(vals[len(av):], bv) },
 	)
-	return t.rebuiltFrom(keys, vals)
+	res := t.rebuiltFrom(keys, vals)
+	t.ar.putKV(ak, av)
+	t.ar.putKV(bk, bv)
+	t.ar.putKV(keys, vals)
+	return res
 }

@@ -16,6 +16,19 @@
 // span (§8). Balance and space are maintained by amortized parallel
 // subtree rebuilding (§7).
 //
+// Node storage is chunked: a rebuilt subtree lays the rep/vals/exists
+// arrays of all its nodes into three contiguous backing arrays
+// (internal/arena.Chunk) that the nodes slice into at deterministic
+// offsets, so a rebuild of s keys costs three array allocations plus
+// one node header each instead of three-to-five heap allocations per
+// node, and sibling leaves end up adjacent in memory — the
+// cache-friendly layout interpolation search trees are designed
+// around. Every temporary a batched operation needs (position buffers,
+// membership side arrays, flatten/merge buffers) is drawn from a
+// tree-owned recycled-scratch arena and returned when the operation
+// completes, so steady-state batches allocate almost nothing; see
+// Config.DisableBufferReuse for the escape hatch.
+//
 // The paper evaluates a sorted set; the set is the V = struct{}
 // instantiation of this tree (NewFromSorted builds one), which costs
 // nothing: every value array of an empty struct type is zero bytes.
@@ -64,6 +77,13 @@ type Config struct {
 	// Traverse selects the batched traversal mode. Default
 	// TraverseInterpolation.
 	Traverse TraverseMode
+	// DisableBufferReuse turns off the tree-owned scratch arena:
+	// every internal temporary is then allocated fresh and dropped,
+	// as if the arena did not exist. The default (false) recycles
+	// scratch buffers across batched operations and rebuilds.
+	// Results are identical either way; the knob exists for leak
+	// analysis, allocation profiling, and differential testing.
+	DisableBufferReuse bool
 }
 
 func (c Config) withDefaults() Config {
@@ -86,6 +106,7 @@ type Tree[K iindex.Numeric, V any] struct {
 	root *node[K, V]
 	cfg  Config
 	pool *parallel.Pool
+	ar   *treeArena[K, V]
 }
 
 // node is one IST node (§3.1 plus the bookkeeping of §6–§7). Leaves
@@ -113,7 +134,12 @@ func (v *node[K, V]) isLeaf() bool { return v.children == nil }
 // New returns an empty tree. pool bounds the parallelism of batched
 // operations; a nil pool means sequential execution.
 func New[K iindex.Numeric, V any](cfg Config, pool *parallel.Pool) *Tree[K, V] {
-	return &Tree[K, V]{cfg: cfg.withDefaults(), pool: pool}
+	cfg = cfg.withDefaults()
+	return &Tree[K, V]{
+		cfg:  cfg,
+		pool: pool,
+		ar:   newTreeArena[K, V](cfg.DisableBufferReuse),
+	}
 }
 
 // NewFromSorted bulk-loads a set (a Tree with struct{} values) from

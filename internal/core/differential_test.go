@@ -74,6 +74,10 @@ func TestDifferentialBatchSequences(t *testing.T) {
 		"rankTraverse":   {Traverse: TraverseRank},
 		"coarseIndex":    {IndexSizeFactor: 0.25},
 		"aggressiveRank": {Traverse: TraverseRank, LeafCap: 4, RebuildFactor: 1},
+		// Arena matrix: the full harness must pass bit-identically with
+		// buffer recycling off, and with it on under rebuild churn.
+		"noReuse":     {DisableBufferReuse: true},
+		"noReuseTiny": {DisableBufferReuse: true, LeafCap: 4, RebuildFactor: 1},
 	}
 	for cname, cfg := range configs {
 		for pname, p := range corePools() {

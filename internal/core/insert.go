@@ -1,19 +1,17 @@
 package core
 
-import (
-	"repro/internal/iindex"
-	"repro/internal/parallel"
-)
+import "repro/internal/parallel"
 
 // InsertBatched adds every key of the sorted duplicate-free batch with
 // a zero value and returns the number of keys actually inserted (keys
 // already present are skipped, keeping their stored value). It
 // implements §5: the batch is first filtered against the current
-// contents with ContainsBatched + Filter, then the surviving keys
-// traverse to their target leaves, reviving logically removed slots on
-// the way (§6, Fig. 13) and merging into leaf Rep arrays (Fig. 11).
-// Subtrees whose modification budget is exceeded are rebuilt ideally
-// en route (§7.1).
+// contents with one batched membership traversal, then the surviving
+// keys traverse to their target leaves, reviving logically removed
+// slots on the way (§6, Fig. 13) and merging into leaf Rep arrays
+// (Fig. 11). Subtrees whose modification budget is exceeded are
+// rebuilt ideally en route (§7.1). The membership side array and the
+// filtered sub-batch are arena scratch with this call's lifetime.
 //
 // InsertBatched(B) is set union: A.InsertBatched(B) makes A = A ∪ B
 // (§2.2).
@@ -21,13 +19,19 @@ func (t *Tree[K, V]) InsertBatched(keys []K) int {
 	if len(keys) == 0 {
 		return 0
 	}
-	present := t.ContainsBatched(keys)
-	fresh := parallel.FilterIndex(t.pool, keys, func(i int) bool { return !present[i] })
-	if len(fresh) == 0 {
-		return 0
+	present := t.ar.bools.GetZero(len(keys))
+	t.containsInto(keys, present)
+	freshBuf := t.ar.keys.Get(len(keys))
+	fresh := parallel.FilterIndexInto(t.pool, keys, freshBuf, func(i int) bool { return !present[i] })
+	t.ar.bools.Put(present)
+	n := len(fresh)
+	if n > 0 {
+		zeroV := t.ar.vals.GetZero(n)
+		t.root = t.insertRec(t.root, fresh, zeroV, 0, n)
+		t.ar.vals.Put(zeroV)
 	}
-	t.root = t.insertRec(t.root, fresh, make([]V, len(fresh)), 0, len(fresh))
-	return len(fresh)
+	t.ar.keys.Put(freshBuf)
+	return n
 }
 
 // PutBatched upserts every (keys[i], vals[i]) pair of the sorted
@@ -37,7 +41,8 @@ func (t *Tree[K, V]) InsertBatched(keys []K) int {
 // traversal (updateRec — no structural change, so no rebuild
 // accounting), absent keys take the §5 insertion traversal with their
 // values riding alongside. Both halves are batched; there is no
-// per-key fallback.
+// per-key fallback. All split buffers are arena scratch scoped to
+// this call — safe because no traversal retains a batch slice.
 func (t *Tree[K, V]) PutBatched(keys []K, vals []V) int {
 	if len(keys) != len(vals) {
 		panic("core: PutBatched keys/vals length mismatch")
@@ -45,19 +50,61 @@ func (t *Tree[K, V]) PutBatched(keys []K, vals []V) int {
 	if len(keys) == 0 {
 		return 0
 	}
-	present := t.ContainsBatched(keys)
-	hitK := parallel.FilterIndex(t.pool, keys, func(i int) bool { return present[i] })
+	present := t.ar.bools.GetZero(len(keys))
+	t.containsInto(keys, present)
+	hitKBuf := t.ar.keys.Get(len(keys))
+	hitK := parallel.FilterIndexInto(t.pool, keys, hitKBuf, func(i int) bool { return present[i] })
 	if len(hitK) > 0 {
-		hitV := parallel.FilterIndex(t.pool, vals, func(i int) bool { return present[i] })
+		hitVBuf := t.ar.vals.Get(len(vals))
+		hitV := parallel.FilterIndexInto(t.pool, vals, hitVBuf, func(i int) bool { return present[i] })
 		t.updateRec(t.root, hitK, hitV, 0, len(hitK))
+		t.ar.vals.Put(hitVBuf)
 	}
-	if len(hitK) == len(keys) {
-		return 0
+	inserted := len(keys) - len(hitK)
+	if inserted > 0 {
+		freshKBuf := t.ar.keys.Get(len(keys))
+		freshVBuf := t.ar.vals.Get(len(vals))
+		freshK := parallel.FilterIndexInto(t.pool, keys, freshKBuf, func(i int) bool { return !present[i] })
+		freshV := parallel.FilterIndexInto(t.pool, vals, freshVBuf, func(i int) bool { return !present[i] })
+		t.root = t.insertRec(t.root, freshK, freshV, 0, len(freshK))
+		t.ar.keys.Put(freshKBuf)
+		t.ar.vals.Put(freshVBuf)
 	}
-	freshK := parallel.FilterIndex(t.pool, keys, func(i int) bool { return !present[i] })
-	freshV := parallel.FilterIndex(t.pool, vals, func(i int) bool { return !present[i] })
-	t.root = t.insertRec(t.root, freshK, freshV, 0, len(freshK))
-	return len(freshK)
+	t.ar.keys.Put(hitKBuf)
+	t.ar.bools.Put(present)
+	return inserted
+}
+
+// rebuildMerged is §7.1 step 2a, shared by the parallel and sequential
+// insertion paths: flatten v, merge the triggering sub-batch, rebuild
+// ideally. Every temporary is arena scratch: the flatten buffers and
+// the merge destination are returned the moment buildIdeal has copied
+// the merged pairs into chunk storage, so consecutive rebuilds cycle
+// the same backing arrays.
+func (t *Tree[K, V]) rebuildMerged(v *node[K, V], keys []K, vals []V, l, r int) *node[K, V] {
+	flatK, flatV := t.flattenScratch(v)
+	n := len(flatK) + (r - l)
+	mkBuf := t.ar.keys.Get(n)
+	mvBuf := t.ar.vals.Get(n)
+	mk, mv := parallel.MergeKVInto(t.pool, flatK, flatV, keys[l:r], vals[l:r], mkBuf, mvBuf)
+	root := t.buildIdeal(mk, mv)
+	t.ar.putKV(flatK, flatV)
+	t.ar.putKV(mkBuf, mvBuf)
+	return root
+}
+
+// rebuildSubtracted is §7.1 step 2b, shared by both removal paths:
+// flatten v, subtract the triggering sub-batch, rebuild ideally, with
+// the same scratch lifetimes as rebuildMerged.
+func (t *Tree[K, V]) rebuildSubtracted(v *node[K, V], keys []K, l, r int) *node[K, V] {
+	flatK, flatV := t.flattenScratch(v)
+	dkBuf := t.ar.keys.Get(len(flatK))
+	dvBuf := t.ar.vals.Get(len(flatV))
+	keptK, keptV := parallel.DifferenceKVInto(t.pool, flatK, flatV, keys[l:r], dkBuf, dvBuf)
+	root := t.buildIdeal(keptK, keptV)
+	t.ar.putKV(flatK, flatV)
+	t.ar.putKV(dkBuf, dvBuf)
+	return root
 }
 
 // insertRec inserts keys[l:r) — all logically absent from the tree —
@@ -69,21 +116,21 @@ func (t *Tree[K, V]) insertRec(v *node[K, V], keys []K, vals []V, l, r int) *nod
 		return t.buildIdeal(keys[l:r], vals[l:r])
 	}
 	if r-l <= seqSegCutoff || t.pool.Workers() == 1 {
-		return t.insertSeq(v, keys, vals, l, r, &scratch{}, 0)
+		sc := t.newScratch()
+		root := t.insertSeq(v, keys, vals, l, r, sc, 0)
+		sc.release()
+		return root
 	}
 	k := r - l
 	if t.rebuildDue(v, k) {
-		// §7.1 step 2a: flatten, merge the triggering sub-batch,
-		// rebuild ideally. The recursion stops here for this subtree.
-		flatK, flatV := t.flatten(v)
-		mk, mv := parallel.MergeKV(t.pool, flatK, flatV, keys[l:r], vals[l:r])
-		return t.buildIdeal(mk, mv)
+		// §7.1 step 2a: the recursion stops here for this subtree.
+		return t.rebuildMerged(v, keys, vals, l, r)
 	}
 	v.modCnt += k
 	v.size += k
 
 	seg := r - l
-	pf := make([]int32, seg)
+	pf := t.ar.i32s.Get(seg)
 	t.findPositions(v, keys, l, r, pf)
 
 	// Revive keys that still exist physically but were logically
@@ -99,16 +146,22 @@ func (t *Tree[K, V]) insertRec(v *node[K, V], keys []K, vals []V, l, r int) *nod
 
 	if v.isLeaf() {
 		// Fig. 11: merge the physically absent pairs into the leaf.
-		absentK := parallel.FilterIndex(t.pool, keys[l:r], func(i int) bool { return pf[i]&1 == 0 })
+		akBuf := t.ar.keys.Get(seg)
+		absentK := parallel.FilterIndexInto(t.pool, keys[l:r], akBuf, func(i int) bool { return pf[i]&1 == 0 })
 		if len(absentK) > 0 {
-			absentV := parallel.FilterIndex(t.pool, vals[l:r], func(i int) bool { return pf[i]&1 == 0 })
-			v.rep, v.vals, v.exists = mergeLeaf(v.rep, v.vals, v.exists, absentK, absentV)
+			avBuf := t.ar.vals.Get(seg)
+			absentV := parallel.FilterIndexInto(t.pool, vals[l:r], avBuf, func(i int) bool { return pf[i]&1 == 0 })
+			v.rep, v.vals, v.exists = mergeLeafPF(v.rep, v.vals, v.exists, absentK, absentV, nil, len(absentK))
+			t.ar.vals.Put(avBuf)
 		}
+		t.ar.keys.Put(akBuf)
+		t.ar.i32s.Put(pf)
 		return v
 	}
 	t.forEachChildRun(pf, func(lo, hi int, child int) {
 		v.children[child] = t.insertRec(v.children[child], keys, vals, l+lo, l+hi)
 	})
+	t.ar.i32s.Put(pf)
 	return v
 }
 
@@ -125,10 +178,13 @@ func (t *Tree[K, V]) updateRec(v *node[K, V], keys []K, vals []V, l, r int) {
 	}
 	seg := r - l
 	if seg <= seqSegCutoff || t.pool.Workers() == 1 {
-		t.updateSeq(v, keys, vals, l, r, &scratch{}, 0)
+		sc := t.newScratch()
+		t.updateSeq(v, keys, vals, l, r, sc, 0)
+		sc.release()
 		return
 	}
-	pf := make([]int32, seg)
+	pf := t.ar.i32s.Get(seg)
+	defer t.ar.i32s.Put(pf)
 	t.findPositions(v, keys, l, r, pf)
 	vv := v.vals
 	parallel.For(t.pool, seg, 0, func(i int) {
@@ -142,42 +198,4 @@ func (t *Tree[K, V]) updateRec(v *node[K, V], keys []K, vals []V, l, r int) {
 	t.forEachChildRun(pf, func(lo, hi int, child int) {
 		t.updateRec(v.children[child], keys, vals, l+lo, l+hi)
 	})
-}
-
-// mergeLeaf merges the sorted batch and its values into a leaf's
-// rep/vals/exists triple. Batch keys are new and therefore live. The
-// merge is sequential: the rebuild rule bounds live leaf growth by
-// C·InitSize before a rebuild replaces the leaf, so this is
-// O(LeafCap·(C+1)) per leaf, and distinct leaves merge in parallel
-// with each other.
-func mergeLeaf[K iindex.Numeric, V any](rep []K, vals []V, exists []bool, batchK []K, batchV []V) ([]K, []V, []bool) {
-	n := len(rep) + len(batchK)
-	nr := make([]K, 0, n)
-	nv := make([]V, 0, n)
-	ne := make([]bool, 0, n)
-	i, j := 0, 0
-	for i < len(rep) && j < len(batchK) {
-		if rep[i] < batchK[j] {
-			nr = append(nr, rep[i])
-			nv = append(nv, vals[i])
-			ne = append(ne, exists[i])
-			i++
-		} else {
-			nr = append(nr, batchK[j])
-			nv = append(nv, batchV[j])
-			ne = append(ne, true)
-			j++
-		}
-	}
-	for ; i < len(rep); i++ {
-		nr = append(nr, rep[i])
-		nv = append(nv, vals[i])
-		ne = append(ne, exists[i])
-	}
-	for ; j < len(batchK); j++ {
-		nr = append(nr, batchK[j])
-		nv = append(nv, batchV[j])
-		ne = append(ne, true)
-	}
-	return nr, nv, ne
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 
+	"repro/internal/arena"
 	"repro/internal/iindex"
 	"repro/internal/parallel"
 )
@@ -13,8 +14,9 @@ import (
 const buildSeqCutoff = 4096
 
 // flatten collects the live keys of subtree v — and their values,
-// position-aligned — into fresh sorted arrays (§7.2): O(n) work,
-// O(log³ n) span (Theorem 1).
+// position-aligned — into freshly allocated sorted arrays (§7.2): O(n)
+// work, O(log³ n) span (Theorem 1). Use it when the result escapes to
+// the caller (Keys, Items); internal rebuild paths use flattenScratch.
 func (t *Tree[K, V]) flatten(v *node[K, V]) ([]K, []V) {
 	if v == nil {
 		return nil, nil
@@ -25,11 +27,28 @@ func (t *Tree[K, V]) flatten(v *node[K, V]) ([]K, []V) {
 	return outK, outV
 }
 
+// flattenScratch is flatten into arena-recycled buffers. The result
+// must never escape the tree: the caller copies it onward (buildIdeal
+// copies every key into chunk storage) and then returns both buffers
+// with t.ar.putKV, at which point a retired flatten buffer becomes the
+// next rebuild's merge or flatten buffer.
+func (t *Tree[K, V]) flattenScratch(v *node[K, V]) ([]K, []V) {
+	if v == nil {
+		return nil, nil
+	}
+	outK := t.ar.keys.Get(v.size)
+	outV := t.ar.vals.Get(v.size)
+	t.fillFlat(v, outK, outV)
+	return outK, outV
+}
+
 // fillFlat writes the live keys and values of v into outK/outV, which
 // have length v.size. Following §7.2, an inner node with k rep slots
 // has 2k+1 key sources — child i is source 2i, rep slot i is source
 // 2i+1 — whose output offsets are the exclusive prefix sums of their
-// live sizes (Fig. 15). All sources then emit in parallel.
+// live sizes (Fig. 15). All sources then emit in parallel. The offsets
+// buffer lives in the arena only for the duration of this node's fan-
+// out (children borrow their own).
 func (t *Tree[K, V]) fillFlat(v *node[K, V], outK []K, outV []V) {
 	if v.isLeaf() {
 		w := 0
@@ -47,7 +66,7 @@ func (t *Tree[K, V]) fillFlat(v *node[K, V], outK []K, outV []V) {
 	if v.size <= buildSeqCutoff {
 		pool = nil
 	}
-	offsets := make([]int, 2*k+1)
+	offsets := t.ar.ints.GetZero(2*k + 1)
 	parallel.For(pool, k, 0, func(i int) {
 		if c := v.children[i]; c != nil {
 			offsets[2*i] = c.size
@@ -70,15 +89,23 @@ func (t *Tree[K, V]) fillFlat(v *node[K, V], outK []K, outV []V) {
 			outV[offsets[s]] = v.vals[j]
 		}
 	})
+	t.ar.ints.Put(offsets)
 }
 
 // buildIdeal constructs an ideally balanced IST (Definition 5) over
 // sorted duplicate-free keys and their position-aligned values: O(n)
 // work and O(log n·log log n) span (Theorem 1). Rep elements are
 // spread evenly — k = ⌊√m⌋ slots at positions (i+1)·m/(k+1) — and the
-// k+1 children build in parallel. Both inputs are copied into fresh
-// leaf and Rep arrays, never aliased, so callers may keep mutating
-// them.
+// k+1 children build in parallel. Both inputs are copied into chunk
+// storage, never aliased, so callers may keep mutating them.
+//
+// Storage is chunked (internal/arena.Chunk): every key of the subtree
+// lands in exactly one rep slot — inner nodes hold some, leaves the
+// rest — so one chunk of exactly m key/value/liveness slots backs the
+// whole subtree, and each node's arrays are carved out of it at
+// offsets the recursion derives locally. The carve windows of parallel
+// siblings are disjoint by construction, so the fill needs no
+// synchronization beyond the fork-join itself.
 //
 // (§7.3 spaces rep elements exactly k apart, which covers the input
 // only when m is a perfect square; the even spread is the Definition 5
@@ -88,52 +115,177 @@ func (t *Tree[K, V]) buildIdeal(keys []K, vals []V) *node[K, V] {
 	if m == 0 {
 		return nil
 	}
-	if m <= t.cfg.LeafCap {
-		return &node[K, V]{
-			rep:      append(make([]K, 0, m), keys...),
-			vals:     append(make([]V, 0, m), vals...),
-			exists:   allTrue(m),
-			size:     m,
-			initSize: m,
-		}
-	}
+	return t.buildInto(t.newChunk(m), 0, keys, vals)
+}
+
+// idealFanout returns k, the rep-slot count of an ideal inner node
+// over m keys (§7.3): ⌊√m⌋, at least 2.
+func idealFanout(m int) int {
 	k := int(math.Sqrt(float64(m)))
 	if k < 2 {
 		k = 2
 	}
+	return k
+}
+
+// idealChild returns the key range [lo, hi) of child i of an ideal
+// inner node over m keys with fanout k; for i < k, position hi holds
+// rep slot i. This is the single definition of the ideal split:
+// buildInto, buildSeqInto, and countIdeal must agree exactly, because
+// countIdeal sizes the node slabs buildSeqInto consumes.
+func idealChild(m, k, i int) (lo, hi int) {
+	lo = 0
+	if i > 0 {
+		lo = i*m/(k+1) + 1
+	}
+	hi = m
+	if i < k {
+		hi = (i + 1) * m / (k + 1)
+	}
+	return lo, hi
+}
+
+// buildInto builds the ideal subtree over keys/vals with its node
+// storage carved from ch at [base, base+len(keys)). Subtrees at or
+// below buildSeqCutoff build sequentially through a node slab: their
+// exact node and child-pointer counts are precomputed (the ideal
+// split is deterministic in m), so the whole subtree's node headers
+// and children arrays come from two bulk allocations instead of one
+// or two per node.
+func (t *Tree[K, V]) buildInto(ch arena.Chunk[K, V], base int, keys []K, vals []V) *node[K, V] {
+	m := len(keys)
+	if m == 0 {
+		return nil // empty child range
+	}
+	if m <= t.cfg.LeafCap {
+		v := &node[K, V]{}
+		t.fillLeaf(v, ch, base, keys, vals)
+		return v
+	}
+	if m <= buildSeqCutoff {
+		nn, nc := countIdeal(m, t.cfg.LeafCap)
+		slab := buildSlab[K, V]{
+			nodes: make([]node[K, V], nn),
+			kids:  make([]*node[K, V], nc),
+		}
+		return t.buildSeqInto(ch, &slab, base, keys, vals)
+	}
+	k := idealFanout(m)
+	rep, vv, ex := ch.Carve(base, k)
+	for i := range ex {
+		ex[i] = true
+	}
 	v := &node[K, V]{
-		rep:      make([]K, k),
-		vals:     make([]V, k),
-		exists:   allTrue(k),
+		rep:      rep,
+		vals:     vv,
+		exists:   ex,
 		children: make([]*node[K, V], k+1),
 		size:     m,
 		initSize: m,
 	}
-	pool := t.pool
-	if m <= buildSeqCutoff {
-		pool = nil
-	}
-	parallel.For(pool, k+1, 1, func(i int) {
-		lo := 0
-		if i > 0 {
-			lo = i*m/(k+1) + 1
-		}
-		hi := m
+	parallel.For(t.pool, k+1, 1, func(i int) {
+		lo, hi := idealChild(m, k, i)
 		if i < k {
-			hi = (i + 1) * m / (k + 1)
-			v.rep[i] = keys[hi]
-			v.vals[i] = vals[hi]
+			rep[i] = keys[hi]
+			vv[i] = vals[hi]
 		}
-		v.children[i] = t.buildIdeal(keys[lo:hi], vals[lo:hi])
+		// Child i's chunk window starts after this node's k rep slots
+		// and the slots of its left siblings: lo keys precede position
+		// lo, of which i are rep keys, so the siblings hold lo−i.
+		v.children[i] = t.buildInto(ch, base+k+lo-i, keys[lo:hi], vals[lo:hi])
 	})
 	v.idx = iindex.Build(v.rep, t.cfg.IndexSizeFactor)
 	return v
 }
 
-func allTrue(n int) []bool {
-	s := make([]bool, n)
-	for i := range s {
-		s[i] = true
+// fillLeaf initializes v as a leaf over keys/vals with storage carved
+// from ch at base.
+func (t *Tree[K, V]) fillLeaf(v *node[K, V], ch arena.Chunk[K, V], base int, keys []K, vals []V) {
+	m := len(keys)
+	rep, vv, ex := ch.Carve(base, m)
+	copy(rep, keys)
+	copy(vv, vals)
+	for i := range ex {
+		ex[i] = true
 	}
-	return s
+	*v = node[K, V]{rep: rep, vals: vv, exists: ex, size: m, initSize: m}
+}
+
+// buildSlab doles out node headers and children arrays for one
+// sequentially built subtree from two exact-size bulk allocations.
+// Like a Chunk, the slab's memory is retained while any node built
+// from it is alive.
+type buildSlab[K iindex.Numeric, V any] struct {
+	nodes []node[K, V]
+	kids  []*node[K, V]
+}
+
+func (s *buildSlab[K, V]) node() *node[K, V] {
+	v := &s.nodes[0]
+	s.nodes = s.nodes[1:]
+	return v
+}
+
+func (s *buildSlab[K, V]) children(k int) []*node[K, V] {
+	c := s.kids[:k:k]
+	s.kids = s.kids[k:]
+	return c
+}
+
+// countIdeal walks the deterministic ideal-split recursion without
+// building anything and returns the node and child-pointer counts of
+// the subtree buildSeqInto will produce for m keys.
+func countIdeal(m, leafCap int) (nodes, kids int) {
+	if m == 0 {
+		return 0, 0
+	}
+	if m <= leafCap {
+		return 1, 0
+	}
+	k := idealFanout(m)
+	nodes, kids = 1, k+1
+	for i := 0; i <= k; i++ {
+		lo, hi := idealChild(m, k, i)
+		cn, ck := countIdeal(hi-lo, leafCap)
+		nodes += cn
+		kids += ck
+	}
+	return nodes, kids
+}
+
+// buildSeqInto is buildInto below the parallel cutoff: same splits,
+// node storage from the slab, no forking.
+func (t *Tree[K, V]) buildSeqInto(ch arena.Chunk[K, V], slab *buildSlab[K, V], base int, keys []K, vals []V) *node[K, V] {
+	m := len(keys)
+	if m == 0 {
+		return nil // empty child range; countIdeal counted no node
+	}
+	v := slab.node()
+	if m <= t.cfg.LeafCap {
+		t.fillLeaf(v, ch, base, keys, vals)
+		return v
+	}
+	k := idealFanout(m)
+	rep, vv, ex := ch.Carve(base, k)
+	for i := range ex {
+		ex[i] = true
+	}
+	*v = node[K, V]{
+		rep:      rep,
+		vals:     vv,
+		exists:   ex,
+		children: slab.children(k + 1),
+		size:     m,
+		initSize: m,
+	}
+	for i := 0; i <= k; i++ {
+		lo, hi := idealChild(m, k, i)
+		if i < k {
+			rep[i] = keys[hi]
+			vv[i] = vals[hi]
+		}
+		v.children[i] = t.buildSeqInto(ch, slab, base+k+lo-i, keys[lo:hi], vals[lo:hi])
+	}
+	v.idx = iindex.Build(v.rep, t.cfg.IndexSizeFactor)
+	return v
 }

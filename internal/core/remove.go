@@ -8,7 +8,8 @@ import "repro/internal/parallel"
 // keys currently present, then the traversal marks each of them
 // logically removed in the Exists array of the node whose Rep holds it
 // (Fig. 12). Space — including the value slots — is reclaimed by the
-// next rebuild of an enclosing subtree (§7).
+// next rebuild of an enclosing subtree (§7). The membership side array
+// and the filtered batch are arena scratch with this call's lifetime.
 //
 // RemoveBatched(B) is set difference: A.RemoveBatched(B) makes
 // A = A \ B (§2.2).
@@ -16,34 +17,39 @@ func (t *Tree[K, V]) RemoveBatched(keys []K) int {
 	if len(keys) == 0 {
 		return 0
 	}
-	present := t.ContainsBatched(keys)
-	doomed := parallel.FilterIndex(t.pool, keys, func(i int) bool { return present[i] })
-	if len(doomed) == 0 {
-		return 0
+	present := t.ar.bools.GetZero(len(keys))
+	t.containsInto(keys, present)
+	doomedBuf := t.ar.keys.Get(len(keys))
+	doomed := parallel.FilterIndexInto(t.pool, keys, doomedBuf, func(i int) bool { return present[i] })
+	t.ar.bools.Put(present)
+	n := len(doomed)
+	if n > 0 {
+		t.root = t.removeRec(t.root, doomed, 0, n)
 	}
-	t.root = t.removeRec(t.root, doomed, 0, len(doomed))
-	return len(doomed)
+	t.ar.keys.Put(doomedBuf)
+	return n
 }
 
 // removeRec removes keys[l:r) — all logically present — from subtree v
 // and returns the possibly replaced subtree root.
 func (t *Tree[K, V]) removeRec(v *node[K, V], keys []K, l, r int) *node[K, V] {
 	if r-l <= seqSegCutoff || t.pool.Workers() == 1 {
-		return t.removeSeq(v, keys, l, r, &scratch{}, 0)
+		sc := t.newScratch()
+		root := t.removeSeq(v, keys, l, r, sc, 0)
+		sc.release()
+		return root
 	}
 	k := r - l
 	if t.rebuildDue(v, k) {
-		// §7.1 step 2b: flatten, subtract the triggering sub-batch,
-		// rebuild ideally.
-		flatK, flatV := t.flatten(v)
-		keptK, keptV := parallel.DifferenceKV(t.pool, flatK, flatV, keys[l:r])
-		return t.buildIdeal(keptK, keptV)
+		// §7.1 step 2b: the recursion stops here for this subtree.
+		return t.rebuildSubtracted(v, keys, l, r)
 	}
 	v.modCnt += k
 	v.size -= k
 
 	seg := r - l
-	pf := make([]int32, seg)
+	pf := t.ar.i32s.Get(seg)
+	defer t.ar.i32s.Put(pf)
 	t.findPositions(v, keys, l, r, pf)
 
 	// Mark keys found in this rep as logically removed (§6). Every

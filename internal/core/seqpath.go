@@ -1,6 +1,9 @@
 package core
 
 import (
+	"sync"
+
+	"repro/internal/arena"
 	"repro/internal/iindex"
 	"repro/internal/parallel"
 )
@@ -15,9 +18,27 @@ const seqSegCutoff = 512
 // scratch holds one reusable position buffer per recursion depth for a
 // sequential subtree walk. A parent's buffer stays live while its
 // children run, so buffers cannot be shared across depths, but sibling
-// subtrees at the same depth reuse the same storage.
+// subtrees at the same depth reuse the same storage. Whole walkers —
+// level buffers attached — are pooled per tree (treeArena.seqScr), so
+// consecutive sequential segments reuse both the buffers and the
+// levels spine; the arena free list only backs buffer growth.
 type scratch struct {
+	src    *arena.Scratch[int32]
+	owner  *sync.Pool // nil when buffer reuse is disabled
 	levels [][]int32
+}
+
+// newScratch borrows a walker from the tree's pool (or builds a fresh
+// one under DisableBufferReuse). Callers must pair it with release()
+// once the walk has fully returned.
+func (t *Tree[K, V]) newScratch() *scratch {
+	if t.cfg.DisableBufferReuse {
+		return &scratch{src: &t.ar.i32s}
+	}
+	if v := t.ar.seqScr.Get(); v != nil {
+		return v.(*scratch)
+	}
+	return &scratch{src: &t.ar.i32s, owner: &t.ar.seqScr}
 }
 
 func (s *scratch) buf(depth, n int) []int32 {
@@ -25,9 +46,23 @@ func (s *scratch) buf(depth, n int) []int32 {
 		s.levels = append(s.levels, nil)
 	}
 	if cap(s.levels[depth]) < n {
-		s.levels[depth] = make([]int32, n)
+		s.src.Put(s.levels[depth])
+		s.levels[depth] = s.src.Get(n)
 	}
 	return s.levels[depth][:n]
+}
+
+// release returns the walker — buffers still attached — to its pool.
+// The scratch must not be used afterwards.
+func (s *scratch) release() {
+	if s.owner == nil {
+		for _, b := range s.levels {
+			s.src.Put(b)
+		}
+		s.levels = nil
+		return
+	}
+	s.owner.Put(s)
 }
 
 // findPositionsSeq is findPositions without parallel loops: it fills
@@ -133,9 +168,7 @@ func (t *Tree[K, V]) insertSeq(v *node[K, V], keys []K, vals []V, l, r int, sc *
 	}
 	k := r - l
 	if t.rebuildDue(v, k) {
-		flatK, flatV := t.flatten(v)
-		mk, mv := parallel.MergeKV(t.pool, flatK, flatV, keys[l:r], vals[l:r])
-		return t.buildIdeal(mk, mv)
+		return t.rebuildMerged(v, keys, vals, l, r)
 	}
 	v.modCnt += k
 	v.size += k
@@ -203,9 +236,7 @@ func (t *Tree[K, V]) updateSeq(v *node[K, V], keys []K, vals []V, l, r int, sc *
 func (t *Tree[K, V]) removeSeq(v *node[K, V], keys []K, l, r int, sc *scratch, depth int) *node[K, V] {
 	k := r - l
 	if t.rebuildDue(v, k) {
-		flatK, flatV := t.flatten(v)
-		keptK, keptV := parallel.DifferenceKV(t.pool, flatK, flatV, keys[l:r])
-		return t.buildIdeal(keptK, keptV)
+		return t.rebuildSubtracted(v, keys, l, r)
 	}
 	v.modCnt += k
 	v.size -= k
@@ -234,17 +265,52 @@ func (t *Tree[K, V]) removeSeq(v *node[K, V], keys []K, l, r int, sc *scratch, d
 	return v
 }
 
-// mergeLeafPF merges the physically absent batch pairs (found bit
-// clear in pf) into a leaf's rep/vals/exists triple in one exact-size
-// pass.
+// mergeLeafPF merges the physically absent batch pairs into a leaf's
+// rep/vals/exists triple. A nil pf means the whole batch is absent
+// (the parallel insertion path pre-filters); otherwise entries with
+// the found bit set were revived in place and are skipped. absent is
+// the number of pairs that will actually be written.
+//
+// When the leaf's arrays have spare capacity the merge runs in place
+// (backward, so sources are consumed before being overwritten);
+// otherwise fresh arrays are allocated with headroom, so the next few
+// merges into the same leaf cost nothing. Chunk-carved arrays are
+// capacity-clamped and therefore always take the allocating path on
+// their first merge, which is what keeps leaf growth out of shared
+// chunk storage. The arrays are leaf-retained either way, so they
+// never come from recycled scratch.
 func mergeLeafPF[K iindex.Numeric, V any](rep []K, vals []V, exists []bool, batchK []K, batchV []V, pf []int32, absent int) ([]K, []V, []bool) {
+	skip := func(j int) bool { return pf != nil && pf[j]&1 == 1 }
 	n := len(rep) + absent
-	nr := make([]K, 0, n)
-	nv := make([]V, 0, n)
-	ne := make([]bool, 0, n)
+	if cap(rep) >= n && cap(vals) >= n && cap(exists) >= n {
+		i := len(rep) - 1
+		rep, vals, exists = rep[:n], vals[:n], exists[:n]
+		w := n - 1
+		for j := len(batchK) - 1; j >= 0; j-- {
+			if skip(j) {
+				continue // revived in place; already present in rep
+			}
+			for i >= 0 && rep[i] > batchK[j] {
+				rep[w] = rep[i]
+				vals[w] = vals[i]
+				exists[w] = exists[i]
+				i--
+				w--
+			}
+			rep[w] = batchK[j]
+			vals[w] = batchV[j]
+			exists[w] = true
+			w--
+		}
+		return rep, vals, exists
+	}
+	grown := n + n/2 // headroom for in-place follow-up merges
+	nr := make([]K, 0, grown)
+	nv := make([]V, 0, grown)
+	ne := make([]bool, 0, grown)
 	i, j := 0, 0
 	for i < len(rep) && j < len(batchK) {
-		if pf[j]&1 == 1 {
+		if skip(j) {
 			j++ // revived in place; already present in rep
 			continue
 		}
@@ -266,7 +332,7 @@ func mergeLeafPF[K iindex.Numeric, V any](rep []K, vals []V, exists []bool, batc
 		ne = append(ne, exists[i])
 	}
 	for ; j < len(batchK); j++ {
-		if pf[j]&1 == 1 {
+		if skip(j) {
 			continue
 		}
 		nr = append(nr, batchK[j])

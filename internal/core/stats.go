@@ -2,7 +2,9 @@ package core
 
 import "repro/internal/iindex"
 
-// Stats summarizes tree shape for inspection tools and balance tests.
+// Stats summarizes tree shape for inspection tools and balance tests,
+// plus the arena counters that track the memory behavior of the
+// rebuild engine.
 type Stats struct {
 	LiveKeys   int // keys logically in the tree
 	DeadKeys   int // logically removed keys awaiting a rebuild
@@ -12,15 +14,30 @@ type Stats struct {
 	RootRepLen int // length of the root's Rep array
 	MaxLeafLen int // longest leaf Rep
 	IndexBytes int // memory held by interpolation indexes
+
+	// Arena counters, cumulative since construction. ScratchReuses /
+	// ScratchGets is the recycling hit rate of the tree's internal
+	// temporaries; it climbs toward 1 as the tree reaches steady
+	// state (and stays 0 with buffer reuse disabled). ChunkBuilds
+	// counts chunked subtree (re)builds and ChunkKeys the key slots
+	// they laid out contiguously.
+	ScratchGets   int64
+	ScratchReuses int64
+	ChunkBuilds   int64
+	ChunkKeys     int64
 }
 
-// Stats computes shape statistics in one O(n) traversal.
+// Stats computes shape statistics in one O(n) traversal and snapshots
+// the arena counters.
 func (t *Tree[K, V]) Stats() Stats {
 	var s Stats
 	if t.root != nil {
 		s.RootRepLen = len(t.root.rep)
 	}
 	statsRec(t.root, 1, &s)
+	s.ScratchGets, s.ScratchReuses = t.ar.scratchStats()
+	s.ChunkBuilds = t.ar.chunkBuilds.Load()
+	s.ChunkKeys = t.ar.chunkKeys.Load()
 	return s
 }
 

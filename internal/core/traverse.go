@@ -8,6 +8,9 @@ import (
 // ContainsBatched reports membership for every key of the sorted
 // duplicate-free batch: result[i] is true iff keys[i] is in the tree
 // (§4, Listing 1.2). Expected O(m·log log n) work and polylog span.
+// The result is freshly allocated (it escapes to the caller); the
+// write paths reuse the traversal through containsInto with a scratch
+// destination instead.
 func (t *Tree[K, V]) ContainsBatched(keys []K) []bool {
 	result := make([]bool, len(keys))
 	if len(keys) == 0 {
@@ -15,6 +18,17 @@ func (t *Tree[K, V]) ContainsBatched(keys []K) []bool {
 	}
 	t.containsRec(t.root, keys, 0, len(keys), result)
 	return result
+}
+
+// containsInto resolves membership into the caller-provided result
+// slice (len(keys), zero-initialized: entries of absent keys are left
+// untouched). It is the arena-friendly entry the batched write paths
+// use with recycled buffers.
+func (t *Tree[K, V]) containsInto(keys []K, result []bool) {
+	if len(keys) == 0 {
+		return
+	}
+	t.containsRec(t.root, keys, 0, len(keys), result)
 }
 
 // GetBatched fetches the value stored under every key of the sorted
@@ -34,17 +48,22 @@ func (t *Tree[K, V]) GetBatched(keys []K) (vals []V, found []bool) {
 
 // containsRec is BatchedTraverse (§4.1, §4.2): it resolves membership
 // of keys[l:r) within the subtree of v, writing into result at global
-// batch positions.
+// batch positions. Position buffers come from the tree arena; a
+// node's buffer stays borrowed until its whole child fan-out returns,
+// then recycles.
 func (t *Tree[K, V]) containsRec(v *node[K, V], keys []K, l, r int, result []bool) {
 	if v == nil {
 		return // result entries stay false
 	}
 	seg := r - l
 	if seg <= seqSegCutoff || t.pool.Workers() == 1 {
-		t.containsSeq(v, keys, l, r, result, &scratch{}, 0)
+		sc := t.newScratch()
+		t.containsSeq(v, keys, l, r, result, sc, 0)
+		sc.release()
 		return
 	}
-	pf := make([]int32, seg)
+	pf := t.ar.i32s.Get(seg)
+	defer t.ar.i32s.Put(pf)
 	t.findPositions(v, keys, l, r, pf)
 	// Keys found in rep resolve here: present iff not logically
 	// removed (§6).
@@ -70,10 +89,13 @@ func (t *Tree[K, V]) getRec(v *node[K, V], keys []K, l, r int, vals []V, found [
 	}
 	seg := r - l
 	if seg <= seqSegCutoff || t.pool.Workers() == 1 {
-		t.getSeq(v, keys, l, r, vals, found, &scratch{}, 0)
+		sc := t.newScratch()
+		t.getSeq(v, keys, l, r, vals, found, sc, 0)
+		sc.release()
 		return
 	}
-	pf := make([]int32, seg)
+	pf := t.ar.i32s.Get(seg)
+	defer t.ar.i32s.Put(pf)
 	t.findPositions(v, keys, l, r, pf)
 	exists, vv := v.exists, v.vals
 	parallel.For(t.pool, seg, 0, func(i int) {
@@ -93,7 +115,8 @@ func (t *Tree[K, V]) getRec(v *node[K, V], keys []K, l, r int, vals []V, found [
 // findPositions locates each key of keys[l:r) in v.rep and packs the
 // result into pf: pf[i] = pos<<1 | found, where pos is the lower-bound
 // position of keys[l+i] (which doubles as the child index to descend
-// into when the key is absent from rep, §3.3).
+// into when the key is absent from rep, §3.3). Every pf entry is
+// written, so dirty recycled buffers are fine here.
 func (t *Tree[K, V]) findPositions(v *node[K, V], keys []K, l, r int, pf []int32) {
 	if t.cfg.Traverse == TraverseRank {
 		// §4.1: one merge-based Rank of the whole sub-batch against
@@ -140,7 +163,8 @@ func (t *Tree[K, V]) findPositions(v *node[K, V], keys []K, l, r int, pf []int32
 // one contiguous run, and distinct absent runs map to distinct
 // children, so parallel invocations of fn touch disjoint children.
 func (t *Tree[K, V]) forEachChildRun(pf []int32, fn func(lo, hi int, child int)) {
-	starts := parallel.FilterIndices(t.pool, len(pf), func(i int) bool {
+	buf := t.ar.ints.Get(len(pf))
+	starts := parallel.FilterIndicesInto(t.pool, len(pf), buf, func(i int) bool {
 		return i == 0 || pf[i] != pf[i-1]
 	})
 	parallel.For(t.pool, len(starts), 1, func(q int) {
@@ -154,4 +178,5 @@ func (t *Tree[K, V]) forEachChildRun(pf []int32, fn func(lo, hi int, child int))
 		}
 		fn(lo, hi, int(pf[lo]>>1))
 	})
+	t.ar.ints.Put(buf)
 }

@@ -32,7 +32,18 @@ const (
 // way.
 func UnionKV[K Ordered, V any](p *Pool, ak []K, av []V, bk []K, bv []V) ([]K, []V) {
 	checkKV("UnionKV", ak, av, bk, bv)
-	return algebraKV(p, ak, av, bk, bv, opUnion)
+	return algebraKV(p, ak, av, bk, bv, opUnion, nil, nil)
+}
+
+// UnionKVInto is UnionKV writing into dstK/dstV: each destination's
+// backing array is reused when its capacity covers the output (at most
+// len(ak)+len(bk); destination lengths are ignored) and freshly
+// allocated otherwise. The tree-to-tree algebra passes recycled
+// scratch buffers here so flatten-combine-rebuild cycles allocate no
+// combine temporaries.
+func UnionKVInto[K Ordered, V any](p *Pool, ak []K, av []V, bk []K, bv []V, dstK []K, dstV []V) ([]K, []V) {
+	checkKV("UnionKV", ak, av, bk, bv)
+	return algebraKV(p, ak, av, bk, bv, opUnion, dstK, dstV)
 }
 
 // IntersectKV returns the (key, value) pairs whose key occurs in both
@@ -40,7 +51,14 @@ func UnionKV[K Ordered, V any](p *Pool, ak []K, av []V, bk []K, bv []V) ([]K, []
 // sequence (ak/av); swap the arguments for the other policy.
 func IntersectKV[K Ordered, V any](p *Pool, ak []K, av []V, bk []K, bv []V) ([]K, []V) {
 	checkKV("IntersectKV", ak, av, bk, bv)
-	return algebraKV(p, ak, av, bk, bv, opIntersect)
+	return algebraKV(p, ak, av, bk, bv, opIntersect, nil, nil)
+}
+
+// IntersectKVInto is IntersectKV under the destination contract of
+// UnionKVInto (output at most min(len(ak), len(bk))).
+func IntersectKVInto[K Ordered, V any](p *Pool, ak []K, av []V, bk []K, bv []V, dstK []K, dstV []V) ([]K, []V) {
+	checkKV("IntersectKV", ak, av, bk, bv)
+	return algebraKV(p, ak, av, bk, bv, opIntersect, dstK, dstV)
 }
 
 // SymmetricDifferenceKV returns the (key, value) pairs whose key
@@ -49,7 +67,15 @@ func IntersectKV[K Ordered, V any](p *Pool, ak []K, av []V, bk []K, bv []V) ([]K
 // from, so the operation is symmetric.
 func SymmetricDifferenceKV[K Ordered, V any](p *Pool, ak []K, av []V, bk []K, bv []V) ([]K, []V) {
 	checkKV("SymmetricDifferenceKV", ak, av, bk, bv)
-	return algebraKV(p, ak, av, bk, bv, opSymDiff)
+	return algebraKV(p, ak, av, bk, bv, opSymDiff, nil, nil)
+}
+
+// SymmetricDifferenceKVInto is SymmetricDifferenceKV under the
+// destination contract of UnionKVInto (output at most
+// len(ak)+len(bk)).
+func SymmetricDifferenceKVInto[K Ordered, V any](p *Pool, ak []K, av []V, bk []K, bv []V, dstK []K, dstV []V) ([]K, []V) {
+	checkKV("SymmetricDifferenceKV", ak, av, bk, bv)
+	return algebraKV(p, ak, av, bk, bv, opSymDiff, dstK, dstV)
 }
 
 func checkKV[K Ordered, V any](name string, ak []K, av []V, bk []K, bv []V) {
@@ -61,8 +87,9 @@ func checkKV[K Ordered, V any](name string, ak []K, av []V, bk []K, bv []V) {
 // algebraKV is the shared segmented two-pass kernel. The op-specific
 // emit rules live in algebraSeg; this function handles the trivial
 // cases, balances the split by blocking over the larger input, and
-// runs the count/scan/write passes.
-func algebraKV[K Ordered, V any](p *Pool, ak []K, av []V, bk []K, bv []V, op algebraOp) ([]K, []V) {
+// runs the count/scan/write passes. dstK/dstV carry the optional
+// caller-provided destinations of the *Into variants.
+func algebraKV[K Ordered, V any](p *Pool, ak []K, av []V, bk []K, bv []V, op algebraOp, dstK []K, dstV []V) ([]K, []V) {
 	// An empty operand makes every op a copy (or nothing, for
 	// intersection).
 	if len(ak) == 0 || len(bk) == 0 {
@@ -76,8 +103,8 @@ func algebraKV[K Ordered, V any](p *Pool, ak []K, av []V, bk []K, bv []V, op alg
 		if len(sk) == 0 {
 			return nil, nil
 		}
-		outK := make([]K, len(sk))
-		outV := make([]V, len(sk))
+		outK := sized(dstK, len(sk))
+		outV := sized(dstV, len(sk))
 		copy(outK, sk)
 		copy(outV, sv)
 		return outK, outV
@@ -97,6 +124,15 @@ func algebraKV[K Ordered, V any](p *Pool, ak []K, av []V, bk []K, bv []V, op alg
 	blocks := scanBlocks(p, n+len(bk))
 	if blocks > n {
 		blocks = n
+	}
+	if blocks == 1 {
+		// Sequential shape: one counting walk, one writing walk, no
+		// segment bookkeeping.
+		total := algebraSeg[K, V](ak, nil, bk, nil, op, commonFromFirst, nil, nil)
+		outK := sized(dstK, total)
+		outV := sized(dstV, total)
+		algebraSeg(ak, av, bk, bv, op, commonFromFirst, outK, outV)
+		return outK, outV
 	}
 	bs := (n + blocks - 1) / blocks
 
@@ -123,8 +159,8 @@ func algebraKV[K Ordered, V any](p *Pool, ak []K, av []V, bk []K, bv []V, op alg
 		counts[blk] = algebraSeg[K, V](ak[lo:hi], nil, bk[bounds[blk]:bounds[blk+1]], nil, op, commonFromFirst, nil, nil)
 	})
 	total := ScanInPlace(nil, counts)
-	outK := make([]K, total)
-	outV := make([]V, total)
+	outK := sized(dstK, total)
+	outV := sized(dstV, total)
 	// Pass 2: write every segment at its scanned offset.
 	For(p, blocks, 1, func(blk int) {
 		lo, hi := min(blk*bs, n), min((blk+1)*bs, n)

@@ -56,13 +56,22 @@ func filterSeq[T any](arr []T, pred func(T) bool) []T {
 // batched operations use to select sub-batches by a parallel-computed
 // boolean side array without first zipping values and flags together.
 func FilterIndex[T any](p *Pool, arr []T, pred func(i int) bool) []T {
+	return FilterIndexInto(p, arr, nil, pred)
+}
+
+// FilterIndexInto is FilterIndex writing into dst: the result reuses
+// dst's backing array when its capacity suffices (dst's length is
+// ignored) and is freshly allocated otherwise, so callers can feed
+// recycled scratch buffers of worst-case size len(arr) and allocate
+// nothing on the hot path.
+func FilterIndexInto[T any](p *Pool, arr []T, dst []T, pred func(i int) bool) []T {
 	n := len(arr)
 	if n == 0 {
 		return nil
 	}
 	blocks := scanBlocks(p, n)
 	if blocks == 1 {
-		var out []T
+		out := dst[:0]
 		for i, v := range arr {
 			if pred(i) {
 				out = append(out, v)
@@ -84,7 +93,7 @@ func FilterIndex[T any](p *Pool, arr []T, pred func(i int) bool) []T {
 		counts[b] = c
 	})
 	total := ScanInPlace(nil, counts)
-	out := make([]T, total)
+	out := sized(dst, total)
 	For(p, blocks, 1, func(b int) {
 		lo, hi := b*bs, min((b+1)*bs, n)
 		w := counts[b]
@@ -102,12 +111,18 @@ func FilterIndex[T any](p *Pool, arr []T, pred func(i int) bool) []T {
 // that satisfy pred. The batched tree uses it to find run boundaries in
 // a position array with O(n) work and O(log n) span.
 func FilterIndices(p *Pool, n int, pred func(i int) bool) []int {
+	return FilterIndicesInto(p, n, nil, pred)
+}
+
+// FilterIndicesInto is FilterIndices writing into dst under the same
+// capacity-reuse contract as FilterIndexInto.
+func FilterIndicesInto(p *Pool, n int, dst []int, pred func(i int) bool) []int {
 	if n <= 0 {
 		return nil
 	}
 	blocks := scanBlocks(p, n)
 	if blocks == 1 {
-		var out []int
+		out := dst[:0]
 		for i := 0; i < n; i++ {
 			if pred(i) {
 				out = append(out, i)
@@ -129,7 +144,7 @@ func FilterIndices(p *Pool, n int, pred func(i int) bool) []int {
 		counts[b] = c
 	})
 	total := ScanInPlace(nil, counts)
-	out := make([]int, total)
+	out := sized(dst, total)
 	For(p, blocks, 1, func(b int) {
 		lo, hi := b*bs, min((b+1)*bs, n)
 		w := counts[b]
@@ -141,6 +156,16 @@ func FilterIndices(p *Pool, n int, pred func(i int) bool) []int {
 		}
 	})
 	return out
+}
+
+// sized returns dst resliced to length n when its capacity allows, or
+// a fresh allocation otherwise — the shared destination contract of
+// every *Into variant in this package.
+func sized[T any](dst []T, n int) []T {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make([]T, n)
 }
 
 // Dedup returns sorted arr with duplicate elements removed, preserving

@@ -13,11 +13,22 @@ package parallel
 // unspecified; all callers in this repository merge disjoint
 // duplicate-free key sets.
 func MergeKV[K Ordered, V any](p *Pool, ak []K, av []V, bk []K, bv []V) ([]K, []V) {
+	return MergeKVInto(p, ak, av, bk, bv, nil, nil)
+}
+
+// MergeKVInto is MergeKV writing into dstK/dstV: each destination's
+// backing array is reused when its capacity covers the output
+// (len(ak)+len(bk); destination lengths are ignored) and freshly
+// allocated otherwise. The tree's rebuild paths pass recycled scratch
+// buffers here so a flatten-merge-rebuild cycle allocates no merge
+// temporaries.
+func MergeKVInto[K Ordered, V any](p *Pool, ak []K, av []V, bk []K, bv []V, dstK []K, dstV []V) ([]K, []V) {
 	if len(ak) != len(av) || len(bk) != len(bv) {
 		panic("parallel: MergeKV keys/vals length mismatch")
 	}
-	outK := make([]K, len(ak)+len(bk))
-	outV := make([]V, len(ak)+len(bk))
+	n := len(ak) + len(bk)
+	outK := sized(dstK, n)
+	outV := sized(dstV, n)
 	mergeKVInto(p, ak, av, bk, bv, outK, outV)
 	return outK, outV
 }
@@ -48,7 +59,7 @@ func mergeKVInto[K Ordered, V any](p *Pool, ak []K, av []V, bk []K, bv []V, dstK
 			ak, av, bk, bv, dstK, dstV = ak1, av1, bk1, bv1, dk1, dv1
 			continue
 		}
-		done := make(chan *panicValue, 1)
+		done := chanPool.Get().(chan *panicValue)
 		go func() {
 			var pv *panicValue
 			defer func() {
@@ -66,6 +77,7 @@ func mergeKVInto[K Ordered, V any](p *Pool, ak []K, av []V, bk []K, bv []V, dstK
 		if pv := <-done; pv != nil {
 			pv.repanic()
 		}
+		chanPool.Put(done)
 		return
 	}
 }
@@ -102,6 +114,13 @@ func mergeKVSeq[K Ordered, V any](ak []K, av []V, bk []K, bv []V, dstK []K, dstV
 // Difference: per-block survivor counts, a scan into offsets, then a
 // parallel scatter.
 func DifferenceKV[K Ordered, V any](p *Pool, ak []K, av []V, b []K) ([]K, []V) {
+	return DifferenceKVInto(p, ak, av, b, nil, nil)
+}
+
+// DifferenceKVInto is DifferenceKV writing into dstK/dstV under the
+// same capacity-reuse contract as MergeKVInto (worst-case output size
+// is len(ak)).
+func DifferenceKVInto[K Ordered, V any](p *Pool, ak []K, av []V, b []K, dstK []K, dstV []V) ([]K, []V) {
 	if len(ak) != len(av) {
 		panic("parallel: DifferenceKV keys/vals length mismatch")
 	}
@@ -110,13 +129,22 @@ func DifferenceKV[K Ordered, V any](p *Pool, ak []K, av []V, b []K) ([]K, []V) {
 		return nil, nil
 	}
 	if len(b) == 0 {
-		outK := make([]K, n)
-		outV := make([]V, n)
+		outK := sized(dstK, n)
+		outV := sized(dstV, n)
 		copy(outK, ak)
 		copy(outV, av)
 		return outK, outV
 	}
 	blocks := scanBlocks(p, n)
+	if blocks == 1 {
+		// Sequential shape: count once, write once, allocate nothing
+		// beyond the (usually recycled) destinations.
+		total := diffKVBlock[K, V](ak, nil, b, nil, nil)
+		outK := sized(dstK, total)
+		outV := sized(dstV, total)
+		diffKVBlock(ak, av, b, outK, outV)
+		return outK, outV
+	}
 	bs := (n + blocks - 1) / blocks
 
 	// Pass 1: per-block survivor counts. Each block walks the range of
@@ -127,8 +155,8 @@ func DifferenceKV[K Ordered, V any](p *Pool, ak []K, av []V, b []K) ([]K, []V) {
 		counts[blk] = diffKVBlock[K, V](ak[lo:hi], nil, b, nil, nil)
 	})
 	total := ScanInPlace(nil, counts)
-	outK := make([]K, total)
-	outV := make([]V, total)
+	outK := sized(dstK, total)
+	outV := sized(dstV, total)
 	// Pass 2: scatter survivors at the scanned offsets.
 	For(p, blocks, 1, func(blk int) {
 		lo, hi := min(blk*bs, n), min((blk+1)*bs, n)

@@ -11,6 +11,14 @@ const DefaultGrain = 2048
 // Iterations must be independent; the order of execution is unspecified.
 // grain <= 0 selects DefaultGrain.
 func For(p *Pool, n, grain int, body func(i int)) {
+	if p.sequential() {
+		// Run inline without the blocked wrapper closure: a sequential
+		// For must not heap-allocate anything.
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
 	ForRange(p, n, grain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			body(i)
@@ -50,7 +58,7 @@ func forRange(p *Pool, lo, hi, grain int, body func(lo, hi int)) {
 		}
 		mid := lo + (hi-lo)/2
 		lo2, hi2 := mid, hi
-		done := make(chan *panicValue, 1)
+		done := chanPool.Get().(chan *panicValue)
 		go func() {
 			var pv *panicValue
 			defer func() {
@@ -68,6 +76,7 @@ func forRange(p *Pool, lo, hi, grain int, body func(lo, hi int)) {
 		if pv := <-done; pv != nil {
 			pv.repanic()
 		}
+		chanPool.Put(done)
 		return
 	}
 	if hi > lo {

@@ -49,7 +49,7 @@ func mergeInto[K Ordered](p *Pool, a, b []K, dst []K) {
 			a, b, dst = a1, b1, d1
 			continue
 		}
-		done := make(chan *panicValue, 1)
+		done := chanPool.Get().(chan *panicValue)
 		go func() {
 			var pv *panicValue
 			defer func() {
@@ -67,6 +67,7 @@ func mergeInto[K Ordered](p *Pool, a, b []K, dst []K) {
 		if pv := <-done; pv != nil {
 			pv.repanic()
 		}
+		chanPool.Put(done)
 		return
 	}
 }

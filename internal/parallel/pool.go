@@ -78,6 +78,15 @@ func (p *Pool) release() {
 	<-p.tokens
 }
 
+// chanPool recycles the one-shot join channels of forked tasks: a fork
+// on the hot path then costs a goroutine but no channel allocation.
+// A channel returns to the pool only after its single value has been
+// received on the normal path, so pooled channels are always empty;
+// panic joins abandon their channel to the GC.
+var chanPool = sync.Pool{
+	New: func() any { return make(chan *panicValue, 1) },
+}
+
 // panicValue carries a panic across a goroutine join so that a panic in
 // a forked task resurfaces in the joining goroutine, as it would in a
 // sequential execution.

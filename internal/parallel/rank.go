@@ -46,7 +46,7 @@ func rankRec[K Ordered](p *Pool, a, b []K, out []int, aBase int) {
 			a, b, out, aBase = aR, bR, oR, aRBase
 			continue
 		}
-		done := make(chan *panicValue, 1)
+		done := chanPool.Get().(chan *panicValue)
 		go func() {
 			var pv *panicValue
 			defer func() {
@@ -64,6 +64,7 @@ func rankRec[K Ordered](p *Pool, a, b []K, out []int, aBase int) {
 		if pv := <-done; pv != nil {
 			pv.repanic()
 		}
+		chanPool.Put(done)
 		return
 	}
 }

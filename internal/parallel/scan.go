@@ -51,6 +51,15 @@ func ScanInPlace(p *Pool, arr []int) (total int) {
 		return 0
 	}
 	blocks := scanBlocks(p, n)
+	if blocks == 1 {
+		// One block: plain sequential sweep, no side allocations —
+		// this is the hot shape on the tree's small-subtree paths.
+		running := 0
+		for i := range arr {
+			arr[i], running = running, running+arr[i]
+		}
+		return running
+	}
 	bs := (n + blocks - 1) / blocks
 
 	sums := make([]int, blocks)

@@ -27,7 +27,11 @@ type ConcurrentOptions struct {
 }
 
 func (o ConcurrentOptions) combineOptions() combine.Options {
-	return combine.Options{MaxBatch: o.MaxBatch, MaxWait: o.MaxWait}
+	return combine.Options{
+		MaxBatch:      o.MaxBatch,
+		MaxWait:       o.MaxWait,
+		NoBufferReuse: o.ReuseBuffers == ReuseOff,
+	}
 }
 
 // Concurrent is the shared-frontend view: a Map[K, V] engine served

@@ -98,6 +98,22 @@ func (m *Map[K, V]) normalizePairs(keys []K, vals []V) ([]K, []V) {
 	return outK, outV
 }
 
+// Clone returns a deep, fully detached copy of the map: one parallel
+// flatten plus one chunked ideal rebuild, sharing the receiver's
+// options and worker pool but nothing else — mutations on either side
+// (including value overwrites) are never visible through the other.
+// Values are copied by assignment: for pointer-typed V both maps
+// share the pointed-to data, as with any shallow value copy. The
+// clone is ideally balanced even when the receiver is mid-churn, so
+// Clone doubles as compaction.
+func (m *Map[K, V]) Clone() *Map[K, V] {
+	cp := &Map[K, V]{}
+	cp.t = m.t.Clone()
+	cp.pool = m.pool
+	cp.assumeSorted = m.assumeSorted
+	return cp
+}
+
 // Get returns the value stored under key; ok is false when the key is
 // absent.
 func (m *Map[K, V]) Get(key K) (val V, ok bool) { return m.t.Get(key) }

@@ -112,13 +112,44 @@ type Options struct {
 	// Results are undefined if the promise is broken; use only on
 	// trusted input paths.
 	AssumeSorted bool
+	// ReuseBuffers controls the tree-owned scratch arena that recycles
+	// internal temporaries (position buffers, membership side arrays,
+	// flatten/merge buffers) across batched operations and rebuilds.
+	// The default, ReuseOn, is what makes steady-state batches nearly
+	// allocation-free; ReuseOff allocates every temporary fresh, for
+	// allocation profiling and differential testing. Results are
+	// identical either way.
+	//
+	// Aliasing guarantees are unaffected by the setting: slices passed
+	// in are never retained (bulk loads and batched writes copy keys
+	// and values into tree-owned chunk storage at the construction
+	// boundary), and slices handed out (Keys, Items, Range, batch
+	// results) are always freshly allocated, never recycled ones. The
+	// arena only circulates buffers the tree itself created. Recycled
+	// buffers may briefly retain copies of removed values until their
+	// next reuse; set ReuseOff if even bounded retention of value
+	// memory matters.
+	ReuseBuffers ReuseMode
 }
+
+// ReuseMode selects a buffer-recycling policy for Options.ReuseBuffers.
+type ReuseMode int8
+
+const (
+	// ReuseDefault is the zero value and behaves like ReuseOn.
+	ReuseDefault ReuseMode = iota
+	// ReuseOn recycles internal scratch buffers (the default).
+	ReuseOn
+	// ReuseOff allocates every internal temporary fresh.
+	ReuseOff
+)
 
 func (o Options) coreConfig() core.Config {
 	cfg := core.Config{
-		LeafCap:         o.LeafCap,
-		RebuildFactor:   o.RebuildFactor,
-		IndexSizeFactor: o.IndexSizeFactor,
+		LeafCap:            o.LeafCap,
+		RebuildFactor:      o.RebuildFactor,
+		IndexSizeFactor:    o.IndexSizeFactor,
+		DisableBufferReuse: o.ReuseBuffers == ReuseOff,
 	}
 	if o.RankTraversal {
 		cfg.Traverse = core.TraverseRank
@@ -197,18 +228,23 @@ func (vw *view[K, V]) SetWorkers(n int) {
 }
 
 // Stats reports structural statistics (shape, balance, and memory of
-// the interpolation indexes).
+// the interpolation indexes) together with the arena counters of the
+// memory subsystem.
 func (vw *view[K, V]) Stats() Stats {
 	s := vw.t.Stats()
 	return Stats{
-		LiveKeys:   s.LiveKeys,
-		DeadKeys:   s.DeadKeys,
-		Nodes:      s.Nodes,
-		Leaves:     s.Leaves,
-		Height:     s.Height,
-		RootRepLen: s.RootRepLen,
-		MaxLeafLen: s.MaxLeafLen,
-		IndexBytes: s.IndexBytes,
+		LiveKeys:      s.LiveKeys,
+		DeadKeys:      s.DeadKeys,
+		Nodes:         s.Nodes,
+		Leaves:        s.Leaves,
+		Height:        s.Height,
+		RootRepLen:    s.RootRepLen,
+		MaxLeafLen:    s.MaxLeafLen,
+		IndexBytes:    s.IndexBytes,
+		ScratchGets:   s.ScratchGets,
+		ScratchReuses: s.ScratchReuses,
+		ChunkBuilds:   s.ChunkBuilds,
+		ChunkKeys:     s.ChunkKeys,
 	}
 }
 
@@ -280,6 +316,20 @@ func NewFromKeys[K Key](opts Options, keys []K) *Tree[K] {
 	tr.assumeSorted = opts.AssumeSorted
 	tr.t = core.NewFromSorted(opts.coreConfig(), p, tr.normalize(keys))
 	return tr
+}
+
+// Clone returns a deep, fully detached copy of the set: one parallel
+// flatten plus one chunked ideal rebuild (near-free on top of the
+// rebuild machinery), sharing the receiver's options and worker pool
+// but nothing else — mutations on either side are never visible
+// through the other. The clone is ideally balanced even when the
+// receiver is mid-churn, so Clone doubles as compaction.
+func (tr *Tree[K]) Clone() *Tree[K] {
+	cp := &Tree[K]{}
+	cp.t = tr.t.Clone()
+	cp.pool = tr.pool
+	cp.assumeSorted = tr.assumeSorted
+	return cp
 }
 
 // Insert adds key, reporting whether it was absent.
@@ -369,7 +419,8 @@ func (tr *Tree[K]) Ascend(lo, hi K) iter.Seq[K] {
 	}
 }
 
-// Stats summarizes the structure of a Tree or Map.
+// Stats summarizes the structure of a Tree or Map, plus the arena
+// counters of the memory subsystem (see Options.ReuseBuffers).
 type Stats struct {
 	LiveKeys   int // keys logically stored
 	DeadKeys   int // logically removed keys awaiting a rebuild
@@ -379,4 +430,14 @@ type Stats struct {
 	RootRepLen int // length of the root's Rep array (Θ(√n) when balanced)
 	MaxLeafLen int // longest leaf array
 	IndexBytes int // memory held by interpolation indexes
+
+	// ScratchGets counts internal scratch-buffer requests since
+	// construction and ScratchReuses how many were served by a
+	// recycled buffer; their ratio is the arena hit rate (0 under
+	// ReuseOff). ChunkBuilds counts chunked subtree (re)builds and
+	// ChunkKeys the key slots those builds laid out contiguously.
+	ScratchGets   int64
+	ScratchReuses int64
+	ChunkBuilds   int64
+	ChunkKeys     int64
 }
