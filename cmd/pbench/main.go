@@ -36,7 +36,7 @@ import (
 // -experiment all executes them. Unknown names are rejected against
 // this table before any setup work happens.
 var experimentOrder = []string{
-	"fig17", "map", "concurrent", "setalgebra", "seqcmp", "traverse", "rebuildc",
+	"fig17", "map", "concurrent", "sharded", "setalgebra", "seqcmp", "traverse", "rebuildc",
 	"treap", "leafcap", "indexfactor", "batchsize",
 }
 
@@ -48,7 +48,9 @@ func main() {
 		m          = flag.Int("m", 1_000_000, "batch size (paper: 1e7)")
 		seed       = flag.Uint64("seed", 0x5eed, "workload seed")
 		workersCSV = flag.String("workers", "1,2,4,8,16", "worker counts for fig17 (comma separated); the last entry is the worker count of the single-point experiments (traverse, treap, sweeps)")
-		clientsCSV = flag.String("clients", "1,4,16,64", "client-goroutine counts for the concurrent experiment (comma separated)")
+		clientsCSV = flag.String("clients", "1,4,16,64", "client-goroutine counts for the concurrent experiment (comma separated); the last entry is the client count of the sharded experiment")
+		shardsCSV  = flag.String("shards", "1,2,4,8,16", "shard counts for the sharded experiment (comma separated)")
+		batchKeys  = flag.Int("batchkeys", 64, "keys per client mini-batch in the sharded experiment")
 		reps       = flag.Int("reps", 3, "repetitions per measurement (paper: 10)")
 		rounds     = flag.Int("rounds", 4, "churn rounds for the rebuildc ablation")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
@@ -83,6 +85,10 @@ func main() {
 	if err != nil {
 		fatalUsage(err.Error())
 	}
+	shards, err := parseCounts(*shardsCSV, "shard")
+	if err != nil {
+		fatalUsage(err.Error())
+	}
 
 	run := func(name string) ([]string, [][]string) {
 		switch name {
@@ -92,6 +98,8 @@ func main() {
 			return runMap(w, workers, *reps)
 		case "concurrent":
 			return runConcurrent(w, clients, *reps)
+		case "sharded":
+			return runSharded(w, clients[len(clients)-1], shards, *batchKeys, *reps)
 		case "setalgebra":
 			return runSetAlgebra(w, workers[len(workers)-1], *reps)
 		case "seqcmp":
@@ -191,6 +199,29 @@ func runConcurrent(w bench.Workload, clients []int, reps int) ([]string, [][]str
 			fmt.Sprintf("%.3f", r.RWMapMops),
 			fmt.Sprintf("%.3f", r.SyncMapMops),
 			fmt.Sprintf("%.1f", r.EpochOps),
+		})
+	}
+	return header, cells
+}
+
+func runSharded(w bench.Workload, clients int, shards []int, batchKeys, reps int) ([]string, [][]string) {
+	rows := bench.RunShardedWorkload(w, clients, shards, batchKeys, reps)
+	header := []string{"shards", "mkeys_s", "speedup", "epochs", "epoch_keys",
+		"min_shard_keys", "max_shard_keys"}
+	cells := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		shardCell := strconv.Itoa(r.Shards)
+		if r.Shards == 0 {
+			shardCell = "concurrent"
+		}
+		cells = append(cells, []string{
+			shardCell,
+			fmt.Sprintf("%.3f", r.Mops),
+			bench.X(r.Speedup),
+			strconv.FormatInt(r.Epochs, 10),
+			fmt.Sprintf("%.1f", r.EpochKeys),
+			strconv.FormatInt(r.MinShardKeys, 10),
+			strconv.FormatInt(r.MaxShardKeys, 10),
 		})
 	}
 	return header, cells

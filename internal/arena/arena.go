@@ -159,3 +159,28 @@ func (s *Scratch[T]) Stats() (gets, reuses int64) {
 	}
 	return gets, reuses
 }
+
+// Retained reports the free-list inventory at this instant: how many
+// idle buffers the Scratch is holding for reuse and their summed
+// capacity in elements. Buffers currently lent out by Get are not
+// counted — Retained measures what the free list itself pins.
+//
+// The structural bound is numShards × numClasses × maxPerClass buffers
+// regardless of how many trees or combiners share the Scratch, which
+// is exactly why sharing one Scratch across a shard group bounds total
+// retained memory where per-shard free lists would multiply it; the
+// shared-arena regression tests assert on this number.
+func (s *Scratch[T]) Retained() (buffers int, elems int64) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for c := range sh.free {
+			for _, buf := range sh.free[c] {
+				buffers++
+				elems += int64(cap(buf))
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return buffers, elems
+}

@@ -47,6 +47,54 @@ type Engine[K cmp.Ordered, V any] interface {
 	Len() int
 	Keys() []K
 	Items() ([]K, []V)
+	RangeKV(lo, hi K) ([]K, []V)
+}
+
+// Scratch is the per-epoch scratch arena of one or more Combiners:
+// size-classed free lists for the event lists, distinct-key arrays,
+// result side arrays, and write batches an epoch borrows and returns.
+// The underlying free lists (arena.Scratch) are safe for concurrent
+// use, so one Scratch may serve many Combiners at once — that is the
+// point: a shard group hands every per-shard combiner the same Scratch
+// and the group's total retained scratch stays bounded by the free
+// lists' structural cap instead of multiplying with the shard count.
+// NewScratch builds one; New creates a private one when none is given.
+type Scratch[K cmp.Ordered, V any] struct {
+	ev    arena.Scratch[event[K]]
+	keys  arena.Scratch[K]
+	vals  arena.Scratch[V]
+	bools arena.Scratch[bool]
+	i32s  arena.Scratch[int32]
+}
+
+// NewScratch returns an empty combiner scratch arena. With disabled
+// set, every borrow allocates fresh and every return is dropped — the
+// NoBufferReuse semantics.
+func NewScratch[K cmp.Ordered, V any](disabled bool) *Scratch[K, V] {
+	s := &Scratch[K, V]{}
+	s.ev.Disabled = disabled
+	s.keys.Disabled = disabled
+	s.vals.Disabled = disabled
+	s.bools.Disabled = disabled
+	s.i32s.Disabled = disabled
+	return s
+}
+
+// Retained reports the scratch free-list inventory across all element
+// types: idle buffers held for reuse and their summed capacity in
+// elements (value buffers count elements of V, key buffers elements
+// of K, and so on — the number is a structural gauge, not bytes).
+func (s *Scratch[K, V]) Retained() (buffers int, elems int64) {
+	b, e := s.ev.Retained()
+	buffers, elems = buffers+b, elems+e
+	b, e = s.keys.Retained()
+	buffers, elems = buffers+b, elems+e
+	b, e = s.vals.Retained()
+	buffers, elems = buffers+b, elems+e
+	b, e = s.bools.Retained()
+	buffers, elems = buffers+b, elems+e
+	b, e = s.i32s.Retained()
+	return buffers + b, elems + e
 }
 
 // ErrClosed is returned by operations submitted after Close.
@@ -92,6 +140,7 @@ const (
 	kindFence    // waits for all earlier ops; reports engine length
 	kindSnapshot // fence that additionally copies out all items
 	kindKeys     // fence that copies out the keys only
+	kindRange    // fence that copies out the items in [lo, hi]
 )
 
 // op is one client submission: a mini-batch of keys (length 1 for
@@ -106,7 +155,8 @@ type op[K cmp.Ordered, V any] struct {
 	rvals  []V    // kindGet: value per input position
 	rfound []bool // get/contains: present; put: inserted; delete: removed
 	rlen   int    // fence/snapshot: engine length after the epoch
-	rkeys  []K    // snapshot/keys: all keys
+	rkeys  []K    // snapshot/keys/range: copied-out keys
+	lo, hi K      // kindRange: the query interval, inclusive
 
 	enq  time.Time // for the combine-wait statistic
 	done chan struct{}
@@ -141,11 +191,10 @@ type Combiner[K cmp.Ordered, V any] struct {
 	// Only runEpoch borrows from these, and it returns every buffer
 	// before the epoch's clients are woken, so no recycled buffer is
 	// ever reachable from two epochs — or from any client — at once.
-	evScr   arena.Scratch[event[K]]
-	keyScr  arena.Scratch[K]
-	valScr  arena.Scratch[V]
-	boolScr arena.Scratch[bool]
-	i32Scr  arena.Scratch[int32]
+	// The bundle may be shared with other Combiners (NewShared): the
+	// free lists are concurrency-safe and buffers carry no identity,
+	// so one combiner's retired epoch buffers become another's.
+	scr *Scratch[K, V]
 
 	smu sync.Mutex
 	st  counters
@@ -181,25 +230,33 @@ type Stats struct {
 	MeanWait time.Duration
 }
 
-// New starts a Combiner serving eng. pool bounds the parallelism of
-// epoch execution (batched traversals and result routing); a nil pool
-// means sequential. The caller must not touch eng afterwards except
-// through the Combiner, and should Close the Combiner to stop its
-// goroutine.
+// New starts a Combiner serving eng with a private scratch arena.
+// pool bounds the parallelism of epoch execution (batched traversals
+// and result routing); a nil pool means sequential. The caller must
+// not touch eng afterwards except through the Combiner, and should
+// Close the Combiner to stop its goroutine.
 func New[K cmp.Ordered, V any](eng Engine[K, V], pool *parallel.Pool, opts Options) *Combiner[K, V] {
+	opts = opts.withDefaults()
+	return NewShared(eng, pool, opts, NewScratch[K, V](opts.NoBufferReuse))
+}
+
+// NewShared is New with a caller-provided scratch arena, typically one
+// Scratch handed to every combiner of a shard group so the group's
+// retained scratch stays bounded regardless of shard count. With
+// opts.NoBufferReuse set, the shared arena is ignored and a private
+// disabled one is used, preserving the allocate-fresh semantics.
+func NewShared[K cmp.Ordered, V any](eng Engine[K, V], pool *parallel.Pool, opts Options, scr *Scratch[K, V]) *Combiner[K, V] {
+	opts = opts.withDefaults()
+	if scr == nil || opts.NoBufferReuse {
+		scr = NewScratch[K, V](opts.NoBufferReuse)
+	}
 	c := &Combiner[K, V]{
 		eng:      eng,
 		pool:     pool,
-		opts:     opts.withDefaults(),
+		opts:     opts,
 		wake:     make(chan struct{}, 1),
 		loopDone: make(chan struct{}),
-	}
-	if c.opts.NoBufferReuse {
-		c.evScr.Disabled = true
-		c.keyScr.Disabled = true
-		c.valScr.Disabled = true
-		c.boolScr.Disabled = true
-		c.i32Scr.Disabled = true
+		scr:      scr,
 	}
 	c.opPool.New = func() any {
 		return &op[K, V]{done: make(chan struct{}, 1)}
@@ -221,6 +278,7 @@ func (c *Combiner[K, V]) putOp(o *op[K, V]) {
 	o.keys, o.vals, o.rvals, o.rfound, o.rkeys = nil, nil, nil, nil, nil
 	var zk K
 	var zv V
+	o.lo, o.hi = zk, zk
 	o.k1[0], o.v1[0], o.rv1[0], o.rf1[0] = zk, zv, zv, false
 	c.opPool.Put(o)
 }
@@ -546,4 +604,20 @@ func (c *Combiner[K, V]) Keys() ([]K, error) {
 	ks := o.rkeys
 	c.putOp(o)
 	return ks, nil
+}
+
+// Range returns the (key, value) pairs with keys in [lo, hi], keys
+// ascending, linearized at the end of the epoch that serves it — an
+// atomic range snapshot that observes every operation submitted
+// before the call.
+func (c *Combiner[K, V]) Range(lo, hi K) ([]K, []V, error) {
+	o := c.getOp(kindRange)
+	o.lo, o.hi = lo, hi
+	if err := c.submit(o); err != nil {
+		c.putOp(o)
+		return nil, nil, err
+	}
+	ks, vs := o.rkeys, o.rvals
+	c.putOp(o)
+	return ks, vs, nil
 }

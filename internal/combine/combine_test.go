@@ -113,6 +113,16 @@ func (e *gatedEngine) Items() ([]int64, []uint64) {
 	return ks, vs
 }
 
+func (e *gatedEngine) RangeKV(lo, hi int64) ([]int64, []uint64) {
+	ks, vs := e.Items()
+	i, _ := slices.BinarySearch(ks, lo)
+	j, found := slices.BinarySearch(ks, hi)
+	if found {
+		j++
+	}
+	return ks[i:j], vs[i:j]
+}
+
 // TestSingleClientOracle drives one client through a long random
 // mixed sequence and checks every result against a builtin map.
 func TestSingleClientOracle(t *testing.T) {

@@ -41,7 +41,7 @@ func (c *Combiner[K, V]) runEpoch(ops []*op[K, V], keyCount int, sized bool) {
 			needVals = true
 		}
 	}
-	evBuf := c.evScr.Get(nev)
+	evBuf := c.scr.ev.Get(nev)
 	events := evBuf[:0]
 	for i, o := range ops {
 		for j := range o.keys {
@@ -59,8 +59,8 @@ func (c *Combiner[K, V]) runEpoch(ops []*op[K, V], keyCount int, sized bool) {
 	})
 
 	// Distinct keys and their event runs.
-	rkBuf := c.keyScr.Get(nev)
-	rsBuf := c.i32Scr.Get(nev + 1)
+	rkBuf := c.scr.keys.Get(nev)
+	rsBuf := c.scr.i32s.Get(nev + 1)
 	readKeys := rkBuf[:0]
 	runStart := rsBuf[:0]
 	for i := range events {
@@ -90,9 +90,9 @@ func (c *Combiner[K, V]) runEpoch(ops []*op[K, V], keyCount int, sized bool) {
 	// writes its op's answer at its own position, and the key's final
 	// state decides the write traversal below. Distinct keys never
 	// share a result position, so the scatter is race-free.
-	putMark := c.boolScr.GetZero(nruns)
-	delMark := c.boolScr.GetZero(nruns)
-	winVal := c.valScr.GetZero(nruns)
+	putMark := c.scr.bools.GetZero(nruns)
+	delMark := c.scr.bools.GetZero(nruns)
+	winVal := c.scr.vals.GetZero(nruns)
 	parallel.For(c.pool, nruns, 256, func(r int) {
 		present := preFound[r]
 		var val V
@@ -140,9 +140,9 @@ func (c *Combiner[K, V]) runEpoch(ops []*op[K, V], keyCount int, sized bool) {
 	// requires — and apply them with one traversal each. The engine
 	// never retains a batch slice (writes copy into tree-owned
 	// storage), so scratch-backed batches are safe here.
-	pkBuf := c.keyScr.Get(nruns)
-	pvBuf := c.valScr.Get(nruns)
-	dkBuf := c.keyScr.Get(nruns)
+	pkBuf := c.scr.keys.Get(nruns)
+	pvBuf := c.scr.vals.Get(nruns)
+	dkBuf := c.scr.keys.Get(nruns)
 	putK := pkBuf[:0]
 	putV := pvBuf[:0]
 	delK := dkBuf[:0]
@@ -173,20 +173,23 @@ func (c *Combiner[K, V]) runEpoch(ops []*op[K, V], keyCount int, sized bool) {
 		case kindKeys:
 			o.rlen = c.eng.Len()
 			o.rkeys = c.eng.Keys()
+		case kindRange:
+			o.rlen = c.eng.Len()
+			o.rkeys, o.rvals = c.eng.RangeKV(o.lo, o.hi)
 		}
 	}
 
 	// Every scratch buffer goes back before the clients wake: nothing
 	// below reads them, so the next epoch is free to recycle.
-	c.evScr.Put(evBuf)
-	c.keyScr.Put(rkBuf)
-	c.i32Scr.Put(rsBuf)
-	c.boolScr.Put(putMark)
-	c.boolScr.Put(delMark)
-	c.valScr.Put(winVal)
-	c.keyScr.Put(pkBuf)
-	c.valScr.Put(pvBuf)
-	c.keyScr.Put(dkBuf)
+	c.scr.ev.Put(evBuf)
+	c.scr.keys.Put(rkBuf)
+	c.scr.i32s.Put(rsBuf)
+	c.scr.bools.Put(putMark)
+	c.scr.bools.Put(delMark)
+	c.scr.vals.Put(winVal)
+	c.scr.keys.Put(pkBuf)
+	c.scr.vals.Put(pvBuf)
+	c.scr.keys.Put(dkBuf)
 
 	// Statistics, then wake every client. Waiters read their results
 	// only after receiving from done, so the sends publish the scatter

@@ -131,8 +131,9 @@ type node[K iindex.Numeric, V any] struct {
 
 func (v *node[K, V]) isLeaf() bool { return v.children == nil }
 
-// New returns an empty tree. pool bounds the parallelism of batched
-// operations; a nil pool means sequential execution.
+// New returns an empty tree owning a private scratch arena. pool
+// bounds the parallelism of batched operations; a nil pool means
+// sequential execution.
 func New[K iindex.Numeric, V any](cfg Config, pool *parallel.Pool) *Tree[K, V] {
 	cfg = cfg.withDefaults()
 	return &Tree[K, V]{
@@ -142,11 +143,36 @@ func New[K iindex.Numeric, V any](cfg Config, pool *parallel.Pool) *Tree[K, V] {
 	}
 }
 
+// NewWithArena is New with a caller-provided SharedArena instead of a
+// private one, so several trees (a shard group) can recycle scratch
+// through one bounded free-list set. A nil arena falls back to a
+// private one. cfg.DisableBufferReuse still disables recycling for
+// this tree's borrows, but the authoritative disable switch of a
+// shared arena is the one it was constructed with.
+func NewWithArena[K iindex.Numeric, V any](cfg Config, pool *parallel.Pool, sa *SharedArena[K, V]) *Tree[K, V] {
+	if sa == nil {
+		return New[K, V](cfg, pool)
+	}
+	cfg = cfg.withDefaults()
+	return &Tree[K, V]{cfg: cfg, pool: pool, ar: sa.ar}
+}
+
+// NewFromSortedKVWithArena bulk-loads a tree (as NewFromSortedKV) with
+// its scratch drawn from a caller-provided SharedArena.
+func NewFromSortedKVWithArena[K iindex.Numeric, V any](cfg Config, pool *parallel.Pool, sa *SharedArena[K, V], keys []K, vals []V) *Tree[K, V] {
+	if len(keys) != len(vals) {
+		panic("core: NewFromSortedKVWithArena keys/vals length mismatch")
+	}
+	t := NewWithArena[K, V](cfg, pool, sa)
+	t.root = t.buildIdeal(keys, vals)
+	return t
+}
+
 // NewFromSorted bulk-loads a set (a Tree with struct{} values) from
 // sorted duplicate-free keys in O(n) work and polylog span, producing
 // an ideally balanced IST (Definition 5). The input slice is not
-// retained: buildIdeal copies keys into fresh leaf and Rep arrays, so
-// the caller may mutate keys afterwards.
+// retained: buildIdeal copies every key into tree-owned chunk storage
+// (arena.Chunk), so the caller may mutate keys afterwards.
 func NewFromSorted[K iindex.Numeric](cfg Config, pool *parallel.Pool, keys []K) *Tree[K, struct{}] {
 	return NewFromSortedKV(cfg, pool, keys, make([]struct{}, len(keys)))
 }

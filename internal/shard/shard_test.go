@@ -1,0 +1,208 @@
+package shard
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+func TestRangesShardAssignment(t *testing.T) {
+	r := NewRanges([]int64{10, 20, 30})
+	if r.N() != 4 {
+		t.Fatalf("N = %d, want 4", r.N())
+	}
+	if !r.Ordered() {
+		t.Fatal("range partitioner must report Ordered")
+	}
+	cases := []struct {
+		key  int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {9, 0},
+		{10, 1}, {15, 1}, {19, 1},
+		{20, 2}, {29, 2},
+		{30, 3}, {1 << 40, 3},
+	}
+	for _, c := range cases {
+		if got := r.Shard(c.key); got != c.want {
+			t.Errorf("Shard(%d) = %d, want %d", c.key, got, c.want)
+		}
+	}
+}
+
+func TestRangesOrderRefinement(t *testing.T) {
+	// Random boundaries, random keys: shard index must be monotone in
+	// the key, the property concatenation-cheap ordered reads rely on.
+	rng := dist.NewRNG(42)
+	keys := dist.UniformSet(rng, 5000, -1_000_000, 1_000_000)
+	for _, n := range []int{1, 2, 3, 8, 17} {
+		p := NewRangeQuantiles(n, keys)
+		last := 0
+		for _, k := range keys { // keys are sorted
+			s := p.Shard(k)
+			if s < last {
+				t.Fatalf("n=%d: shard went backwards at key %d: %d after %d", n, k, s, last)
+			}
+			if s < 0 || s >= n {
+				t.Fatalf("n=%d: Shard(%d) = %d out of range", n, k, s)
+			}
+			last = s
+		}
+	}
+}
+
+func TestRangeQuantilesBalance(t *testing.T) {
+	rng := dist.NewRNG(7)
+	// Zipf-skewed keys: uniform splitting would starve most shards,
+	// quantile boundaries must keep every shard within 2x of fair.
+	keys := dist.ZipfSet(rng, 40_000, 0.8, 0, 1<<30)
+	const n = 8
+	p := NewRangeQuantiles(n, keys)
+	counts := make([]int, n)
+	for _, k := range keys {
+		counts[p.Shard(k)]++
+	}
+	fair := len(keys) / n
+	for s, c := range counts {
+		if c > 2*fair {
+			t.Errorf("shard %d holds %d keys, fair share %d", s, c, fair)
+		}
+	}
+}
+
+func TestNewRangeUniform(t *testing.T) {
+	p := NewRangeUniform(4, int64(0), int64(100))
+	want := []int64{25, 50, 75}
+	if !slices.Equal(p.Bounds(), want) {
+		t.Fatalf("bounds = %v, want %v", p.Bounds(), want)
+	}
+	if p.Shard(int64(24)) != 0 || p.Shard(int64(25)) != 1 || p.Shard(int64(99)) != 3 {
+		t.Fatal("uniform bounds misroute")
+	}
+	// n=1 degenerates to a single shard taking everything.
+	one := NewRangeUniform(1, int64(-10), int64(10))
+	if one.N() != 1 || one.Shard(int64(-99)) != 0 || one.Shard(int64(99)) != 0 {
+		t.Fatal("single-shard uniform partitioner misroutes")
+	}
+}
+
+func TestHashedBalanceAndDeterminism(t *testing.T) {
+	const n = 8
+	p := NewHashed[int64](n)
+	if p.Ordered() {
+		t.Fatal("hash partitioner must not report Ordered")
+	}
+	rng := dist.NewRNG(3)
+	// Clustered keys — the adversarial case for range partitioning —
+	// must still spread evenly under hashing.
+	keys := dist.Clustered(rng, 40_000, 4, 0, 1<<30)
+	counts := make([]int, n)
+	for _, k := range keys {
+		s := p.Shard(k)
+		if s != p.Shard(k) {
+			t.Fatalf("Shard(%d) not deterministic", k)
+		}
+		counts[s]++
+	}
+	fair := len(keys) / n
+	for s, c := range counts {
+		if c < fair/2 || c > 2*fair {
+			t.Errorf("shard %d holds %d keys, fair share %d", s, c, fair)
+		}
+	}
+}
+
+func TestSplitStitchRoundTrip(t *testing.T) {
+	rng := dist.NewRNG(11)
+	for _, p := range []Partitioner[int64]{
+		NewHashed[int64](5),
+		NewRangeUniform(5, int64(0), int64(1000)),
+	} {
+		// Unsorted, duplicated input — the scatter must preserve the
+		// positional contract regardless.
+		keys := make([]int64, 777)
+		for i := range keys {
+			keys[i] = rng.Int63n(1000)
+		}
+		parts, pos := Split(p, keys)
+		if len(parts) != p.N() || len(pos) != p.N() {
+			t.Fatalf("Split returned %d/%d parts, want %d", len(parts), len(pos), p.N())
+		}
+		total := 0
+		for s := range parts {
+			if len(parts[s]) != len(pos[s]) {
+				t.Fatalf("shard %d: %d keys but %d positions", s, len(parts[s]), len(pos[s]))
+			}
+			total += len(parts[s])
+			for j, k := range parts[s] {
+				if p.Shard(k) != s {
+					t.Fatalf("key %d scattered to shard %d, owner %d", k, s, p.Shard(k))
+				}
+				if keys[pos[s][j]] != k {
+					t.Fatalf("position map broken: parts[%d][%d]=%d but keys[%d]=%d",
+						s, j, k, pos[s][j], keys[pos[s][j]])
+				}
+			}
+		}
+		if total != len(keys) {
+			t.Fatalf("scatter dropped keys: %d of %d", total, len(keys))
+		}
+		// Stitching the scattered keys back must reproduce the input.
+		out := make([]int64, len(keys))
+		Stitch(out, parts, pos)
+		if !slices.Equal(out, keys) {
+			t.Fatal("Stitch(Split(keys)) != keys")
+		}
+		// Per-shard stitch agrees with the all-shards stitch.
+		out2 := make([]int64, len(keys))
+		for s := range parts {
+			StitchOne(out2, parts[s], pos[s])
+		}
+		if !slices.Equal(out2, keys) {
+			t.Fatal("StitchOne disagrees with Stitch")
+		}
+	}
+}
+
+func TestSplitPairsAlignment(t *testing.T) {
+	p := NewHashed[int64](3)
+	keys := []int64{5, 1, 5, 9, 2, 2, 7}
+	vals := []uint64{50, 10, 51, 90, 20, 21, 70}
+	parts, vparts, pos := SplitPairs(p, keys, vals)
+	for s := range parts {
+		for j := range parts[s] {
+			if vparts[s][j] != vals[pos[s][j]] {
+				t.Fatalf("value misaligned: shard %d slot %d has %d, want %d",
+					s, j, vparts[s][j], vals[pos[s][j]])
+			}
+		}
+	}
+}
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	b := NewBloom(8 * 10_000)
+	rng := dist.NewRNG(99)
+	added := make([]int64, 10_000)
+	for i := range added {
+		added[i] = rng.Int63n(1 << 40)
+		b.Add(HashKey(added[i]))
+	}
+	for _, k := range added {
+		if !b.MayContain(HashKey(k)) {
+			t.Fatalf("false negative for added key %d", k)
+		}
+	}
+	// False positives must be rare enough to be a useful router.
+	fp := 0
+	const probes = 20_000
+	for i := 0; i < probes; i++ {
+		k := -1 - rng.Int63n(1<<40) // negative: disjoint from added keys
+		if b.MayContain(HashKey(k)) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / probes; rate > 0.25 {
+		t.Fatalf("false-positive rate %.3f too high to be useful", rate)
+	}
+}

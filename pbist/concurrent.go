@@ -1,6 +1,7 @@
 package pbist
 
 import (
+	"iter"
 	"time"
 
 	"repro/internal/combine"
@@ -204,6 +205,28 @@ func (c *Concurrent[K, V]) Keys() []K {
 	ks, err := c.cb.Keys()
 	check(err)
 	return ks
+}
+
+// Range returns the (key, value) pairs with keys in [lo, hi], keys
+// ascending, as one atomic range snapshot.
+func (c *Concurrent[K, V]) Range(lo, hi K) ([]K, []V) {
+	ks, vs, err := c.cb.Range(lo, hi)
+	check(err)
+	return ks, vs
+}
+
+// Ascend returns an in-order iterator over the (key, value) pairs in
+// [lo, hi]. The sequence iterates one atomic Range snapshot taken at
+// the Ascend call; later mutations do not affect it.
+func (c *Concurrent[K, V]) Ascend(lo, hi K) iter.Seq2[K, V] {
+	ks, vs := c.Range(lo, hi)
+	return func(yield func(K, V) bool) {
+		for i, k := range ks {
+			if !yield(k, vs[i]) {
+				return
+			}
+		}
+	}
 }
 
 // SnapshotMap materializes one atomic snapshot of the frontend as an

@@ -158,3 +158,40 @@ func ExampleTree_Stats() {
 	// Output:
 	// 1000 true 31
 }
+
+func ExampleSharded_PutBatch() {
+	// Four trees behind one facade: the batch is split by key range,
+	// the four sub-batches execute concurrently (one epoch per shard),
+	// and the insert count is gathered back.
+	s := pbist.NewShardedRange[int64, string](
+		pbist.ShardedOptions{Shards: 4}, 0, 400)
+	defer s.Close()
+	inserted := s.PutBatch(
+		[]int64{350, 50, 150, 250, 50}, // unsorted, duplicated: fine
+		[]string{"d", "x", "b", "c", "a"})
+	fmt.Println(inserted)
+	v, ok := s.Get(50) // last occurrence won, as in Map.PutBatch
+	fmt.Println(v, ok)
+	// Output:
+	// 4
+	// a true
+}
+
+func ExampleSharded_Range() {
+	// Under range partitioning shard order refines key order, so a
+	// cross-shard Range only queries the overlapping shards and
+	// concatenates their already-sorted answers.
+	s := pbist.NewShardedRange[int64, string](
+		pbist.ShardedOptions{Shards: 4}, 0, 400)
+	defer s.Close()
+	s.PutBatch([]int64{10, 110, 210, 310}, []string{"a", "b", "c", "d"})
+	ks, vs := s.Range(100, 399)
+	fmt.Println(ks, vs)
+	for k, v := range s.Ascend(0, 150) {
+		fmt.Println(k, v)
+	}
+	// Output:
+	// [110 210 310] [b c d]
+	// 10 a
+	// 110 b
+}

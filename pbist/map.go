@@ -34,8 +34,8 @@ func NewMap[K Key, V any](opts Options) *Map[K, V] {
 // slices must have equal length; when a key occurs more than once the
 // last occurrence wins, matching PutBatch. Neither input slice is
 // retained — even on the already-sorted (or AssumeSorted) fast path,
-// construction copies every key and value into fresh node-local
-// arrays — and the keys need not be sorted (unless
+// construction copies every key and value into tree-owned chunk
+// storage — and the keys need not be sorted (unless
 // Options.AssumeSorted, in which case they must be sorted and
 // duplicate-free).
 func NewMapFromItems[K Key, V any](opts Options, keys []K, vals []V) *Map[K, V] {

@@ -3,7 +3,7 @@
 // data structure of "Parallel-batched Interpolation Search Tree"
 // (Aksenov, Kokorin, Martsenyuk; PACT 2023).
 //
-// Three views share one engine:
+// Four views share one engine:
 //
 //   - Tree[K] is the sorted set: single-key operations (Contains,
 //     Insert, Remove), batched operations (ContainsBatch, InsertBatch,
@@ -19,8 +19,13 @@
 //     to arbitrarily many goroutines through a combining queue, for
 //     workloads where operations arrive one key at a time from
 //     concurrent clients rather than pre-assembled into batches.
+//   - Sharded[K, V] is the scatter-gather frontend: the key space
+//     partitioned across N independent engines (each behind its own
+//     combiner, all sharing one worker pool and one scratch arena),
+//     for batched write throughput past a single combiner's one
+//     epoch at a time — per-key linearizable, per-shard atomic.
 //
-// Both run every batch through the same parallel-batched traversal:
+// All views run every batch through the same parallel-batched traversal:
 //
 //	t := pbist.New[int64](pbist.Options{})
 //	t.InsertBatch(ids)                // A ← A ∪ ids
@@ -256,8 +261,9 @@ func (vw *view[K, V]) Height() int { return vw.t.Height() }
 // when mutation would be observable by the caller. When the input is
 // already sorted (or promised so via AssumeSorted), the caller's
 // slice is passed through as-is — safe because no core operation
-// retains a batch slice: bulk loads copy keys into fresh node arrays,
-// and batched updates merge into freshly allocated leaf arrays.
+// retains a batch slice: bulk loads copy keys into tree-owned chunk
+// storage at construction, and batched updates merge into leaf arrays
+// the tree already owns (or fresh chunk storage on rebuild).
 func (vw *view[K, V]) normalize(keys []K) []K {
 	if vw.assumeSorted || isSortedUnique(keys) {
 		return keys
@@ -306,7 +312,7 @@ func New[K Key](opts Options) *Tree[K] {
 // into an ideally balanced shape. The input slice is not retained —
 // even on the already-sorted (or AssumeSorted) fast path, which hands
 // the slice to the bulk loader without copying first, construction
-// copies every key into fresh node-local arrays — and it need not be
+// copies every key into tree-owned chunk storage — and it need not be
 // sorted (unless Options.AssumeSorted, in which case it must be
 // sorted and duplicate-free).
 func NewFromKeys[K Key](opts Options, keys []K) *Tree[K] {

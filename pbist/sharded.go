@@ -1,0 +1,717 @@
+package pbist
+
+import (
+	"iter"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/combine"
+	"repro/internal/core"
+	"repro/internal/parallel"
+	"repro/internal/shard"
+)
+
+// PartitionPolicy selects how Sharded assigns keys to shards.
+type PartitionPolicy int8
+
+const (
+	// PartitionDefault picks range partitioning wherever boundaries
+	// are derivable (NewShardedFromItems fits quantile boundaries,
+	// NewShardedRange takes an explicit span) and hash partitioning
+	// from the boundless NewSharded constructor.
+	PartitionDefault PartitionPolicy = iota
+	// PartitionRange assigns each shard a contiguous key interval.
+	// Shard order then refines key order, so Range, Ascend, Keys,
+	// Items, and SnapshotMap concatenate per-shard results instead of
+	// merging. Balance is only as good as the boundaries; skewed
+	// inserts outside the fitted span pile onto the edge shards.
+	PartitionRange
+	// PartitionHash assigns shards by a mixed 64-bit hash of the key:
+	// balance is immune to key-space skew, but ordered reads pay an
+	// N-way merge.
+	PartitionHash
+)
+
+// ShardedOptions configures a Sharded frontend: the per-shard engine
+// and combiner settings (ConcurrentOptions) plus the shard layout.
+// The zero value gives sensible defaults.
+type ShardedOptions struct {
+	ConcurrentOptions
+	// Shards is the number of independent trees (each with its own
+	// combiner goroutine). Default 8.
+	Shards int
+	// Partition selects the key-to-shard policy; see the constants.
+	Partition PartitionPolicy
+	// PointFilter enables a per-shard Bloom filter that answers
+	// point Get/Contains misses without a combiner round trip: keys
+	// are added on every insert (never removed), so a filter miss
+	// proves the key was never inserted into that shard. Worth it for
+	// miss-heavy point workloads; off by default.
+	PointFilter bool
+	// FilterBits is the Bloom filter size per shard in bits (rounded
+	// up to a power of two). Default 1<<21 (256 KiB per shard);
+	// size at roughly 8 bits per expected key per shard.
+	FilterBits int
+	// PrivateArenas gives every shard tree and combiner its own
+	// scratch arena instead of one shared set of free lists. The
+	// default (false) shares one size-classed arena across the whole
+	// group, bounding total retained scratch by a single arena's
+	// structural cap regardless of shard count; set this only for
+	// isolation experiments and allocation profiling.
+	PrivateArenas bool
+}
+
+func (o ShardedOptions) withDefaults() ShardedOptions {
+	if o.Shards <= 0 {
+		o.Shards = 8
+	}
+	if o.FilterBits <= 0 {
+		o.FilterBits = 1 << 21
+	}
+	return o
+}
+
+// Sharded is the scatter-gather frontend: one facade over N
+// independent core trees, each serving its own combiner goroutine,
+// all sharing one worker pool and (by default) one scratch arena. A
+// partition policy routes every key to exactly one shard, so point
+// operations go straight to the owning shard's combiner, batched
+// operations are split into per-shard sub-batches that execute
+// concurrently across shards — N epochs in flight instead of the one
+// epoch at a time a single Concurrent sustains — and the per-shard
+// results are stitched back in input order.
+//
+// Consistency: each key lives on exactly one shard and each shard is
+// a linearizable Concurrent engine, so ALL operations on a single key
+// are linearizable, and single-shard batches are atomic. A batch that
+// spans shards is atomic per shard but not across shards: another
+// client can observe one shard's half of the batch before the other
+// shard's half lands. Len, Keys, Items, Range, and SnapshotMap fence
+// every shard (each fence linearizable on its shard) but the fences
+// are not mutually atomic. Workloads that need cross-key atomicity
+// should use Concurrent; see the decision table in the README.
+//
+// Create one with NewSharded, NewShardedRange, or
+// NewShardedFromItems; call Close when done. Operations on a closed
+// Sharded panic.
+type Sharded[K Key, V any] struct {
+	part    shard.Partitioner[K]
+	cbs     []*combine.Combiner[K, V]
+	filters []*shard.Bloom // per shard; nil when PointFilter is off
+	pool    *parallel.Pool
+	opts    ShardedOptions
+
+	arena *core.SharedArena[K, V] // nil under PrivateArenas
+	cscr  *combine.Scratch[K, V]  // nil under PrivateArenas
+	short atomic.Int64            // point lookups answered by a filter
+}
+
+// NewSharded returns an empty sharded frontend. With no data and no
+// span to fit range boundaries to, PartitionDefault selects hash
+// partitioning; PartitionRange panics here — use NewShardedRange
+// (explicit span) or NewShardedFromItems (fitted quantiles) instead.
+func NewSharded[K Key, V any](opts ShardedOptions) *Sharded[K, V] {
+	opts = opts.withDefaults()
+	if opts.Partition == PartitionRange {
+		panic("pbist: NewSharded cannot derive range boundaries; use NewShardedRange or NewShardedFromItems")
+	}
+	return newSharded[K, V](opts, shard.NewHashed[K](opts.Shards), nil, nil)
+}
+
+// NewShardedRange returns an empty sharded frontend that partitions
+// [lo, hi] into equal-width key intervals — the right construction
+// when keys are roughly uniform over a known span. Keys outside the
+// span are owned by the edge shards. Panics if opts.Partition is
+// PartitionHash (the explicit span would be silently ignored).
+func NewShardedRange[K Key, V any](opts ShardedOptions, lo, hi K) *Sharded[K, V] {
+	opts = opts.withDefaults()
+	if opts.Partition == PartitionHash {
+		panic("pbist: NewShardedRange conflicts with PartitionHash; use NewSharded")
+	}
+	return newSharded[K, V](opts, shard.NewRangeUniform(opts.Shards, lo, hi), nil, nil)
+}
+
+// NewShardedFromItems returns a sharded frontend bulk-loaded with the
+// (keys[i], vals[i]) pairs (last occurrence of a duplicated key wins,
+// as in NewMapFromItems; neither slice is retained). Under the
+// default range policy the shard boundaries are the quantiles of the
+// loaded keys, so every shard starts with an equal share whatever the
+// distribution.
+func NewShardedFromItems[K Key, V any](opts ShardedOptions, keys []K, vals []V) *Sharded[K, V] {
+	if len(keys) != len(vals) {
+		panic("pbist: NewShardedFromItems keys/vals length mismatch")
+	}
+	opts = opts.withDefaults()
+	m := &Map[K, V]{}
+	m.pool = opts.pool()
+	m.assumeSorted = opts.AssumeSorted
+	nk, nv := m.normalizePairs(keys, vals)
+	var p shard.Partitioner[K]
+	if opts.Partition == PartitionHash {
+		p = shard.NewHashed[K](opts.Shards)
+	} else {
+		p = shard.NewRangeQuantiles(opts.Shards, nk)
+	}
+	return newSharded(opts, p, nk, nv)
+}
+
+// newSharded builds the shard group: one core tree per shard loaded
+// with its slice of the (optional) initial items, one combiner per
+// tree, one pool for everything, and — unless PrivateArenas — one
+// shared tree arena plus one shared combiner scratch for the group.
+func newSharded[K Key, V any](opts ShardedOptions, p shard.Partitioner[K], keys []K, vals []V) *Sharded[K, V] {
+	pool := opts.pool()
+	s := &Sharded[K, V]{
+		part: p,
+		cbs:  make([]*combine.Combiner[K, V], p.N()),
+		pool: pool,
+		opts: opts,
+	}
+	reuseOff := opts.ReuseBuffers == ReuseOff
+	if !opts.PrivateArenas {
+		s.arena = core.NewSharedArena[K, V](reuseOff)
+		s.cscr = combine.NewScratch[K, V](reuseOff)
+	}
+	if opts.PointFilter {
+		s.filters = make([]*shard.Bloom, p.N())
+		for i := range s.filters {
+			s.filters[i] = shard.NewBloom(opts.FilterBits)
+		}
+	}
+	var parts [][]K
+	var vparts [][]V
+	if keys != nil {
+		parts, vparts, _ = shard.SplitPairs(p, keys, vals)
+	}
+	cfg := opts.coreConfig()
+	copts := opts.combineOptions()
+	for i := range s.cbs {
+		var t *core.Tree[K, V]
+		var pk []K
+		var pv []V
+		if parts != nil {
+			pk, pv = parts[i], vparts[i]
+		}
+		if s.arena != nil {
+			t = core.NewFromSortedKVWithArena(cfg, pool, s.arena, pk, pv)
+		} else {
+			t = core.NewFromSortedKV(cfg, pool, pk, pv)
+		}
+		if s.filters != nil {
+			for _, k := range pk {
+				s.filters[i].Add(shard.HashKey(k))
+			}
+		}
+		s.cbs[i] = combine.NewShared(combine.Engine[K, V](t), pool, copts, s.cscr)
+	}
+	return s
+}
+
+// checkSharded panics when an operation hits a closed Sharded.
+func checkSharded(err error) {
+	if err != nil {
+		panic("pbist: operation on closed Sharded")
+	}
+}
+
+// owner returns the combiner serving key.
+func (s *Sharded[K, V]) owner(key K) *combine.Combiner[K, V] {
+	return s.cbs[s.part.Shard(key)]
+}
+
+// filterMiss reports whether the owning shard's filter proves key was
+// never inserted, letting a point lookup answer "absent" without a
+// combiner round trip. Always false when PointFilter is off.
+func (s *Sharded[K, V]) filterMiss(sh int, key K) bool {
+	if s.filters == nil {
+		return false
+	}
+	if s.filters[sh].MayContain(shard.HashKey(key)) {
+		return false
+	}
+	s.short.Add(1)
+	return true
+}
+
+// Get returns the value stored under key; ok is false when absent.
+func (s *Sharded[K, V]) Get(key K) (val V, ok bool) {
+	sh := s.part.Shard(key)
+	if s.filterMiss(sh, key) {
+		return val, false
+	}
+	val, ok, err := s.cbs[sh].Get(key)
+	checkSharded(err)
+	return val, ok
+}
+
+// Contains reports whether key is present.
+func (s *Sharded[K, V]) Contains(key K) bool {
+	sh := s.part.Shard(key)
+	if s.filterMiss(sh, key) {
+		return false
+	}
+	ok, err := s.cbs[sh].Contains(key)
+	checkSharded(err)
+	return ok
+}
+
+// Put stores val under key, inserting or overwriting; it reports
+// whether the key was absent at the operation's linearization point.
+func (s *Sharded[K, V]) Put(key K, val V) bool {
+	sh := s.part.Shard(key)
+	if s.filters != nil {
+		// Before the submit: once Put returns, every later point
+		// lookup must see the filter bit.
+		s.filters[sh].Add(shard.HashKey(key))
+	}
+	inserted, err := s.cbs[sh].Put(key, val)
+	checkSharded(err)
+	return inserted
+}
+
+// Delete removes key, reporting whether it was present. Deletes do
+// not clear filter bits (a stale positive only costs the round trip
+// a filterless lookup always pays).
+func (s *Sharded[K, V]) Delete(key K) bool {
+	removed, err := s.owner(key).Delete(key)
+	checkSharded(err)
+	return removed
+}
+
+// forEachShard runs f concurrently for every shard with a non-empty
+// sub-batch and waits for all of them: the scatter half of every
+// batched operation. Sub-batches execute as concurrent epochs on
+// independent combiners — the parallelism a single Concurrent cannot
+// reach — while the stitch back into input order happens on each
+// shard's gather goroutine (distinct shards never share an input
+// position, so the scatters are race-free).
+func forEachShard[K Key](parts [][]K, f func(sh int)) {
+	live := 0
+	last := -1
+	for sh, p := range parts {
+		if len(p) > 0 {
+			live++
+			last = sh
+		}
+	}
+	if live == 0 {
+		return
+	}
+	if live == 1 {
+		f(last) // single-shard batch: no goroutine churn
+		return
+	}
+	var wg sync.WaitGroup
+	for sh, p := range parts {
+		if len(p) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(sh int) {
+			defer wg.Done()
+			f(sh)
+		}(sh)
+	}
+	wg.Wait()
+}
+
+// GetBatch fetches the value for every element of keys: vals[i] and
+// found[i] answer keys[i], whatever the input order or duplication.
+// The batch is atomic per shard, not across shards.
+func (s *Sharded[K, V]) GetBatch(keys []K) (vals []V, found []bool) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	parts, pos := shard.Split(s.part, keys)
+	vals = make([]V, len(keys))
+	found = make([]bool, len(keys))
+	var firstErr atomic.Pointer[error]
+	forEachShard(parts, func(sh int) {
+		vs, fs, err := s.cbs[sh].GetBatch(parts[sh])
+		if err != nil {
+			firstErr.Store(&err)
+			return
+		}
+		shard.StitchOne(vals, vs, pos[sh])
+		shard.StitchOne(found, fs, pos[sh])
+	})
+	if e := firstErr.Load(); e != nil {
+		checkSharded(*e)
+	}
+	return vals, found
+}
+
+// ContainsBatch reports membership for every element of keys,
+// positionally. Atomic per shard, not across shards.
+func (s *Sharded[K, V]) ContainsBatch(keys []K) []bool {
+	if len(keys) == 0 {
+		return nil
+	}
+	parts, pos := shard.Split(s.part, keys)
+	found := make([]bool, len(keys))
+	var firstErr atomic.Pointer[error]
+	forEachShard(parts, func(sh int) {
+		fs, err := s.cbs[sh].ContainsBatch(parts[sh])
+		if err != nil {
+			firstErr.Store(&err)
+			return
+		}
+		shard.StitchOne(found, fs, pos[sh])
+	})
+	if e := firstErr.Load(); e != nil {
+		checkSharded(*e)
+	}
+	return found
+}
+
+// PutBatch upserts every (keys[i], vals[i]) pair, returning how many
+// keys were newly inserted. Duplicate keys resolve to the last
+// occurrence, as in Map.PutBatch (duplicates land on one shard, whose
+// combiner replays them in position order). Atomic per shard, not
+// across shards.
+func (s *Sharded[K, V]) PutBatch(keys []K, vals []V) int {
+	if len(keys) != len(vals) {
+		panic("pbist: PutBatch keys/vals length mismatch")
+	}
+	if len(keys) == 0 {
+		return 0
+	}
+	parts, vparts, _ := shard.SplitPairs(s.part, keys, vals)
+	var inserted atomic.Int64
+	var firstErr atomic.Pointer[error]
+	forEachShard(parts, func(sh int) {
+		if s.filters != nil {
+			for _, k := range parts[sh] {
+				s.filters[sh].Add(shard.HashKey(k))
+			}
+		}
+		n, err := s.cbs[sh].PutBatch(parts[sh], vparts[sh])
+		if err != nil {
+			firstErr.Store(&err)
+			return
+		}
+		inserted.Add(int64(n))
+	})
+	if e := firstErr.Load(); e != nil {
+		checkSharded(*e)
+	}
+	return int(inserted.Load())
+}
+
+// DeleteBatch removes every element of keys, returning how many were
+// present. Atomic per shard, not across shards.
+func (s *Sharded[K, V]) DeleteBatch(keys []K) int {
+	if len(keys) == 0 {
+		return 0
+	}
+	parts, _ := shard.Split(s.part, keys)
+	var removed atomic.Int64
+	var firstErr atomic.Pointer[error]
+	forEachShard(parts, func(sh int) {
+		n, err := s.cbs[sh].DeleteBatch(parts[sh])
+		if err != nil {
+			firstErr.Store(&err)
+			return
+		}
+		removed.Add(int64(n))
+	})
+	if e := firstErr.Load(); e != nil {
+		checkSharded(*e)
+	}
+	return int(removed.Load())
+}
+
+// gatherKV collects (keys, vals) from every shard concurrently and
+// returns the per-shard results in shard order.
+func (s *Sharded[K, V]) gatherKV(get func(cb *combine.Combiner[K, V]) ([]K, []V, error)) ([][]K, [][]V) {
+	ks := make([][]K, len(s.cbs))
+	vs := make([][]V, len(s.cbs))
+	var wg sync.WaitGroup
+	var firstErr atomic.Pointer[error]
+	for i, cb := range s.cbs {
+		wg.Add(1)
+		go func(i int, cb *combine.Combiner[K, V]) {
+			defer wg.Done()
+			k, v, err := get(cb)
+			if err != nil {
+				firstErr.Store(&err)
+				return
+			}
+			ks[i], vs[i] = k, v
+		}(i, cb)
+	}
+	wg.Wait()
+	if e := firstErr.Load(); e != nil {
+		checkSharded(*e)
+	}
+	return ks, vs
+}
+
+// mergeShardKV combines per-shard sorted sequences into one globally
+// sorted sequence: a concatenation under an order-preserving
+// partitioner, an N-way merge (folded pairwise on the shared pool)
+// under hashing. Shard key sets are disjoint, so UnionKV never has to
+// pick a winner.
+func (s *Sharded[K, V]) mergeShardKV(ks [][]K, vs [][]V) ([]K, []V) {
+	if s.part.Ordered() {
+		total := 0
+		for _, k := range ks {
+			total += len(k)
+		}
+		outK := make([]K, 0, total)
+		outV := make([]V, 0, total)
+		for i := range ks {
+			outK = append(outK, ks[i]...)
+			outV = append(outV, vs[i]...)
+		}
+		return outK, outV
+	}
+	var outK []K
+	var outV []V
+	for i := range ks {
+		if len(ks[i]) == 0 {
+			continue
+		}
+		if outK == nil {
+			outK, outV = ks[i], vs[i]
+			continue
+		}
+		outK, outV = parallel.UnionKV(s.pool, outK, outV, ks[i], vs[i])
+	}
+	return outK, outV
+}
+
+// Len reports the number of keys stored: the sum of per-shard
+// lengths, each linearized on its shard (the fences are concurrent,
+// not mutually atomic).
+func (s *Sharded[K, V]) Len() int {
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	var firstErr atomic.Pointer[error]
+	for _, cb := range s.cbs {
+		wg.Add(1)
+		go func(cb *combine.Combiner[K, V]) {
+			defer wg.Done()
+			l, err := cb.Len()
+			if err != nil {
+				firstErr.Store(&err)
+				return
+			}
+			n.Add(int64(l))
+		}(cb)
+	}
+	wg.Wait()
+	if e := firstErr.Load(); e != nil {
+		checkSharded(*e)
+	}
+	return int(n.Load())
+}
+
+// Flush blocks until every operation submitted before it has executed
+// on every shard.
+func (s *Sharded[K, V]) Flush() {
+	var wg sync.WaitGroup
+	var firstErr atomic.Pointer[error]
+	for _, cb := range s.cbs {
+		wg.Add(1)
+		go func(cb *combine.Combiner[K, V]) {
+			defer wg.Done()
+			if err := cb.Flush(); err != nil {
+				firstErr.Store(&err)
+			}
+		}(cb)
+	}
+	wg.Wait()
+	if e := firstErr.Load(); e != nil {
+		checkSharded(*e)
+	}
+}
+
+// Items returns every (key, value) pair, keys ascending and values
+// position-aligned. Each shard's snapshot is atomic on that shard;
+// the shards are fenced concurrently, not mutually atomically.
+func (s *Sharded[K, V]) Items() ([]K, []V) {
+	ks, vs := s.gatherKV(func(cb *combine.Combiner[K, V]) ([]K, []V, error) {
+		return cb.Snapshot()
+	})
+	return s.mergeShardKV(ks, vs)
+}
+
+// Keys returns the keys in ascending order (per-shard snapshots,
+// merged; values are never materialized under range partitioning).
+func (s *Sharded[K, V]) Keys() []K {
+	if s.part.Ordered() {
+		ks, _ := s.gatherKV(func(cb *combine.Combiner[K, V]) ([]K, []V, error) {
+			k, err := cb.Keys()
+			return k, nil, err
+		})
+		total := 0
+		for _, k := range ks {
+			total += len(k)
+		}
+		out := make([]K, 0, total)
+		for _, k := range ks {
+			out = append(out, k...)
+		}
+		return out
+	}
+	ks, _ := s.Items()
+	return ks
+}
+
+// Range returns the (key, value) pairs with keys in [lo, hi], keys
+// ascending. Under range partitioning only the shards whose intervals
+// overlap [lo, hi] are queried and their answers concatenate; under
+// hashing every shard answers and the results merge. Each shard's
+// answer is an atomic range snapshot on that shard.
+func (s *Sharded[K, V]) Range(lo, hi K) ([]K, []V) {
+	if hi < lo {
+		return nil, nil
+	}
+	first, last := 0, len(s.cbs)-1
+	if s.part.Ordered() {
+		first, last = s.part.Shard(lo), s.part.Shard(hi)
+	}
+	ks := make([][]K, last-first+1)
+	vs := make([][]V, last-first+1)
+	var wg sync.WaitGroup
+	var firstErr atomic.Pointer[error]
+	for i := first; i <= last; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			k, v, err := s.cbs[i].Range(lo, hi)
+			if err != nil {
+				firstErr.Store(&err)
+				return
+			}
+			ks[i-first], vs[i-first] = k, v
+		}(i)
+	}
+	wg.Wait()
+	if e := firstErr.Load(); e != nil {
+		checkSharded(*e)
+	}
+	return s.mergeShardKV(ks, vs)
+}
+
+// Ascend returns an in-order iterator over the (key, value) pairs in
+// [lo, hi]. The sequence iterates one materialized cross-shard Range
+// snapshot: mutations after the Ascend call do not affect it.
+func (s *Sharded[K, V]) Ascend(lo, hi K) iter.Seq2[K, V] {
+	ks, vs := s.Range(lo, hi)
+	return func(yield func(K, V) bool) {
+		for i, k := range ks {
+			if !yield(k, vs[i]) {
+				return
+			}
+		}
+	}
+}
+
+// SnapshotMap materializes a snapshot of the frontend as an
+// independent Map sharing the frontend's engine configuration and
+// worker pool but none of its data. Each shard's contribution is
+// linearizable on that shard; the cross-shard combination is not one
+// atomic fence (use Concurrent.SnapshotMap when that matters).
+func (s *Sharded[K, V]) SnapshotMap() *Map[K, V] {
+	ks, vs := s.Items()
+	m := &Map[K, V]{}
+	m.pool = s.pool
+	m.assumeSorted = s.opts.AssumeSorted
+	m.t = core.NewFromSortedKV(s.opts.coreConfig(), s.pool, ks, vs)
+	return m
+}
+
+// Close stops every shard's combiner: it stops accepting operations,
+// waits for everything already submitted, and stops the combiner
+// goroutines. Idempotent; safe to call concurrently with in-flight
+// operations (each completes or panics with the closed-Sharded
+// message, as with Concurrent).
+func (s *Sharded[K, V]) Close() {
+	var wg sync.WaitGroup
+	for _, cb := range s.cbs {
+		wg.Add(1)
+		go func(cb *combine.Combiner[K, V]) {
+			defer wg.Done()
+			cb.Close()
+		}(cb)
+	}
+	wg.Wait()
+}
+
+// Closed reports whether Close has been called.
+func (s *Sharded[K, V]) Closed() bool {
+	return s.cbs[0].Closed()
+}
+
+// Shards reports the shard count.
+func (s *Sharded[K, V]) Shards() int { return s.part.N() }
+
+// ShardedStats is a snapshot of the whole shard group's combining
+// behavior plus the group-level counters: per-shard epoch statistics
+// (the evidence that N combiners really do run N concurrent epochs),
+// filter effectiveness, and the shared-arena inventory the retention
+// regression tests watch.
+type ShardedStats struct {
+	// Shards is the shard count; Ordered whether the partitioner
+	// preserves key order across shards (range partitioning).
+	Shards  int
+	Ordered bool
+	// PerShard holds each shard's combining statistics — epochs,
+	// ops, keys, mean batch size, mean combine wait — in shard order.
+	PerShard []ConcurrentStats
+	// Epochs, Ops, and Keys aggregate PerShard.
+	Epochs int64
+	Ops    int64
+	Keys   int64
+	// FilterShortCircuits counts point lookups answered "absent" by a
+	// per-shard filter without a combiner round trip (0 with
+	// PointFilter off).
+	FilterShortCircuits int64
+	// RetainedBuffers and RetainedElems gauge the group's idle
+	// scratch inventory — free-list buffers held for reuse across the
+	// shared tree arena and the shared combiner scratch, and their
+	// summed capacity in elements. Bounded by the free lists'
+	// structural cap however many shards exist (0 under
+	// PrivateArenas, where each shard's private inventory is not
+	// aggregated).
+	RetainedBuffers int
+	RetainedElems   int64
+}
+
+// Stats returns a snapshot of the shard group's combining behavior.
+func (s *Sharded[K, V]) Stats() ShardedStats {
+	st := ShardedStats{
+		Shards:              len(s.cbs),
+		Ordered:             s.part.Ordered(),
+		PerShard:            make([]ConcurrentStats, len(s.cbs)),
+		FilterShortCircuits: s.short.Load(),
+	}
+	for i, cb := range s.cbs {
+		cs := cb.Stats()
+		st.PerShard[i] = ConcurrentStats{
+			Epochs:      cs.Epochs,
+			Ops:         cs.Ops,
+			Keys:        cs.Keys,
+			SizeFlushes: cs.SizeFlushes,
+			MeanOps:     cs.MeanOps,
+			MeanKeys:    cs.MeanKeys,
+			MeanWait:    cs.MeanWait,
+		}
+		st.Epochs += cs.Epochs
+		st.Ops += cs.Ops
+		st.Keys += cs.Keys
+	}
+	if s.arena != nil {
+		b, e := s.arena.Retained()
+		st.RetainedBuffers += b
+		st.RetainedElems += e
+	}
+	if s.cscr != nil {
+		b, e := s.cscr.Retained()
+		st.RetainedBuffers += b
+		st.RetainedElems += e
+	}
+	return st
+}
