@@ -1,0 +1,88 @@
+// Command pbistvet is the multichecker for the PB-IST engine's static
+// contracts: it loads the requested packages and runs every analyzer
+// of internal/analysis over them, printing go-vet-style diagnostics
+// and exiting nonzero if any fire.
+//
+// Usage:
+//
+//	go run ./cmd/pbistvet ./...
+//
+// The suite enforces, mechanically, the invariants the engine's
+// performance rests on (see ARCHITECTURE.md "Static invariants"):
+//
+//	arenapair     every Scratch.Get/GetZero reaches a Put on all paths
+//	noescape      borrowed scratch/chunk slices never outlive the borrow
+//	noalloc       //pbist:noalloc bodies contain no allocating constructs
+//	combinerguard //pbist:guardedby combiner fields stay combiner-confined
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/analysis/arenapair"
+	"repro/internal/analysis/combinerguard"
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/noalloc"
+	"repro/internal/analysis/noescape"
+)
+
+var analyzers = []*framework.Analyzer{
+	arenapair.Analyzer,
+	noescape.Analyzer,
+	noalloc.Analyzer,
+	combinerguard.Analyzer,
+}
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pbistvet:", err)
+		os.Exit(2)
+	}
+	failed := false
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			// Analyzers need sound type information; surface the errors
+			// instead of analyzing a broken package.
+			for _, terr := range pkg.TypeErrors {
+				fmt.Fprintf(os.Stderr, "pbistvet: %s: %v\n", pkg.ImportPath, terr)
+			}
+			failed = true
+			continue
+		}
+		var diags []string
+		for _, a := range analyzers {
+			name := a.Name
+			pass := &framework.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				Report: func(d framework.Diagnostic) {
+					diags = append(diags, fmt.Sprintf("%s: %s (%s)",
+						pkg.Fset.Position(d.Pos), d.Message, name))
+				},
+			}
+			if _, err := a.Run(pass); err != nil {
+				fmt.Fprintf(os.Stderr, "pbistvet: %s: %s: %v\n", name, pkg.ImportPath, err)
+				failed = true
+			}
+		}
+		sort.Strings(diags)
+		for _, d := range diags {
+			fmt.Println(d)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

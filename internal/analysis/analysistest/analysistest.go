@@ -1,0 +1,159 @@
+// Package analysistest runs an analyzer over golden test packages and
+// checks its diagnostics against // want comments — the same contract
+// as golang.org/x/tools/go/analysis/analysistest, rebuilt on the
+// in-tree loader so the suite tests offline.
+//
+// A test package lives in its own directory under
+// internal/analysis/testdata/src/<analyzer>/ and is a complete,
+// self-contained Go package (testdata directories are invisible to
+// ./... patterns, so these packages never leak into module builds).
+// Expectations are trailing comments:
+//
+//	buf := s.Get(n) // want `not returned`
+//
+// Each string after want — quoted or backquoted — is a regular
+// expression that must match the message of exactly one diagnostic
+// reported on that line; diagnostics without a matching want, and
+// wants without a matching diagnostic, both fail the test.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/load"
+)
+
+// want is one expectation: a regexp anchored to a file line.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// wantRE extracts the expectation strings of one comment text:
+// everything after "want" as a sequence of Go string literals.
+var wantMarker = regexp.MustCompile(`(?://|/\*)\s*want\s+(.*)`)
+
+// argRE matches one quoted or backquoted string literal.
+var argRE = regexp.MustCompile("^\\s*(`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
+
+// Run loads each directory as a package, applies the analyzer, and
+// reports mismatches between its diagnostics and the // want
+// expectations through t.
+func Run(t *testing.T, a *framework.Analyzer, dirs ...string) {
+	t.Helper()
+	for _, dir := range dirs {
+		t.Run(dir, func(t *testing.T) {
+			runDir(t, a, dir)
+		})
+	}
+}
+
+func runDir(t *testing.T, a *framework.Analyzer, dir string) {
+	t.Helper()
+	pkgs, err := load.Load(dir, ".")
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loading %s: got %d packages, want 1", dir, len(pkgs))
+	}
+	pkg := pkgs[0]
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("type error in golden package: %v", terr)
+	}
+
+	var wants []*want
+	for _, file := range pkg.Files {
+		filename := pkg.Fset.Position(file.Pos()).Filename
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				m := wantMarker.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				line := pkg.Fset.Position(c.Pos()).Line
+				rest := m[1]
+				found := false
+				for {
+					arg := argRE.FindStringSubmatch(rest)
+					if arg == nil {
+						break
+					}
+					rest = rest[len(arg[0]):]
+					lit := arg[1]
+					var pattern string
+					if strings.HasPrefix(lit, "`") {
+						pattern = strings.Trim(lit, "`")
+					} else {
+						var err error
+						pattern, err = strconv.Unquote(lit)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want string %s: %v", filename, line, lit, err)
+						}
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", filename, line, pattern, err)
+					}
+					wants = append(wants, &want{file: filename, line: line, re: re, raw: pattern})
+					found = true
+				}
+				if !found {
+					t.Fatalf("%s:%d: want comment with no string literal", filename, line)
+				}
+			}
+		}
+	}
+
+	var diags []framework.Diagnostic
+	pass := &framework.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		Report:    func(d framework.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s: analyzer error: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		posn := pkg.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.matched || w.file != posn.Filename || w.line != posn.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", posn, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// Dir builds the conventional golden-package path for an analyzer
+// test: the shared testdata tree lives at internal/analysis/testdata
+// and each analyzer's tests run from internal/analysis/<analyzer>, so
+// the relative path is ../testdata/src/<analyzer>/<name>.
+func Dir(analyzer, name string) string {
+	return filepath.Join("..", "testdata", "src", analyzer, name)
+}

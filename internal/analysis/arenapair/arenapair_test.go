@@ -1,0 +1,12 @@
+package arenapair_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/arenapair"
+)
+
+func TestArenapair(t *testing.T) {
+	analysistest.Run(t, arenapair.Analyzer, analysistest.Dir("arenapair", "a"))
+}

@@ -1,0 +1,12 @@
+package combinerguard_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/combinerguard"
+)
+
+func TestCombinerguard(t *testing.T) {
+	analysistest.Run(t, combinerguard.Analyzer, analysistest.Dir("combinerguard", "a"))
+}

@@ -1,0 +1,63 @@
+// Package framework is the minimal analyzer-driver contract the
+// pbistvet suite is written against: Analyzer, Pass, and Diagnostic,
+// mirroring the corresponding types of golang.org/x/tools/go/analysis
+// field for field.
+//
+// The mirror exists because this module deliberately has no external
+// dependencies (ROADMAP: the build must work from a bare Go toolchain,
+// offline). Every analyzer's Run function receives a *Pass carrying
+// exactly what the x/tools Pass carries — the file set, the package's
+// syntax trees, its types.Package and types.Info, and a Report sink —
+// so migrating the suite onto the real go/analysis driver (and picking
+// up its multichecker, facts, and -json plumbing) is a mechanical
+// import swap, not a rewrite. Until then, cmd/pbistvet plays the role
+// of the multichecker and internal/analysis/analysistest the role of
+// analysistest.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. The zero Requires/Facts
+// machinery of go/analysis is intentionally absent: every pbistvet
+// analyzer is self-contained and package-local.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags. By
+	// go/analysis convention it is a lowercase identifier.
+	Name string
+	// Doc is the help text: first line is a one-sentence summary.
+	Doc string
+	// Run applies the analyzer to one package. Diagnostics go through
+	// pass.Report; the result value is unused by the driver and exists
+	// only for signature compatibility with go/analysis.
+	Run func(pass *Pass) (any, error)
+}
+
+// Pass carries one package's worth of input to an Analyzer.Run and
+// receives its diagnostics, exactly like analysis.Pass.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report records one diagnostic. Set by the driver.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding, positioned inside the analyzed package.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,255 @@
+// Package load turns Go package patterns into parsed, fully
+// type-checked packages for the pbistvet analyzers — a small,
+// dependency-free stand-in for golang.org/x/tools/go/packages.
+//
+// Package metadata (directories, build-tag-filtered file lists, the
+// resolved import graph) comes from one `go list -deps -json`
+// invocation, so the loader sees exactly what the build sees; parsing
+// and type checking then happen in-process with go/parser and
+// go/types. Module-internal dependencies are type-checked from source
+// recursively; standard-library dependencies are type-checked with
+// function bodies skipped (their APIs are all the analyzers need),
+// which keeps a whole-module load in the low seconds without any
+// export-data files. Everything is offline: the only external process
+// is the go tool itself, and only for metadata.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one fully loaded package: syntax plus types.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+	// TypeErrors collects type-checker soft errors. Analyzers run only
+	// on packages that checked cleanly; the driver surfaces these.
+	TypeErrors []error
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// loader memoizes one load session: every package is parsed and
+// checked at most once, and all packages share one FileSet so
+// positions compare across the module.
+type loader struct {
+	fset     *token.FileSet
+	meta     map[string]*listedPackage
+	checked  map[string]*types.Package
+	checking map[string]bool
+	fallback types.ImporterFrom // source importer for paths go list did not report
+}
+
+// Load lists patterns in dir (the module root or any directory inside
+// it) and returns the matched packages — fully parsed and type-checked
+// — in dependency order. Dependencies that are not themselves matched
+// are type-checked for their APIs only.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"."}
+	}
+	metas, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	ld := &loader{
+		fset:     token.NewFileSet(),
+		meta:     make(map[string]*listedPackage, len(metas)),
+		checked:  make(map[string]*types.Package, len(metas)),
+		checking: make(map[string]bool),
+	}
+	// The source importer is the safety net for import paths go list
+	// did not enumerate (it resolves from GOROOT/GOPATH source); with
+	// -deps metadata it should never be consulted, but a nil importer
+	// would turn a metadata gap into a hard failure.
+	ld.fallback, _ = importer.ForCompiler(ld.fset, "source", nil).(types.ImporterFrom)
+	for _, m := range metas {
+		ld.meta[m.ImportPath] = m
+	}
+	var out []*Package
+	for _, m := range metas {
+		if m.DepOnly || len(m.GoFiles) == 0 {
+			continue
+		}
+		if m.Error != nil {
+			return nil, fmt.Errorf("load: %s: %s", m.ImportPath, m.Error.Err)
+		}
+		pkg, err := ld.check(m)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// goList shells out for metadata: one invocation, transitive closure
+// included, JSON narrowed to the fields the loader reads.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{
+		"list", "-deps",
+		"-json=ImportPath,Dir,Name,GoFiles,Imports,ImportMap,Standard,DepOnly,Incomplete,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("load: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var metas []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		m := new(listedPackage)
+		if err := dec.Decode(m); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %v", err)
+		}
+		metas = append(metas, m)
+	}
+	return metas, nil
+}
+
+// parse reads and parses every GoFile of m under the shared FileSet.
+func (ld *loader) parse(m *listedPackage) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(m.GoFiles))
+	for _, name := range m.GoFiles {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(m.Dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("load: %s: %v", m.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// check fully type-checks m (bodies included, Info populated) for
+// analysis. Dependencies resolve through the loader's importer.
+func (ld *loader) check(m *listedPackage) (*Package, error) {
+	files, err := ld.parse(m)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	pkg := &Package{
+		ImportPath: m.ImportPath,
+		Dir:        m.Dir,
+		Fset:       ld.fset,
+		Files:      files,
+	}
+	conf := types.Config{
+		Importer: &pkgImporter{ld: ld, from: m},
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(m.ImportPath, ld.fset, files, info)
+	if err != nil && len(pkg.TypeErrors) == 0 {
+		pkg.TypeErrors = append(pkg.TypeErrors, err)
+	}
+	pkg.Types = tpkg
+	pkg.TypesInfo = info
+	ld.checked[m.ImportPath] = tpkg
+	return pkg, nil
+}
+
+// ensure type-checks the package at path for import resolution,
+// memoized. Standard-library packages check with bodies skipped;
+// module packages check fully so a later analysis pass of the same
+// package could reuse positions, but without Info (the analyzed-
+// package pass in Load builds its own).
+func (ld *loader) ensure(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := ld.checked[path]; ok {
+		return p, nil
+	}
+	m, ok := ld.meta[path]
+	if !ok {
+		return nil, fmt.Errorf("load: import %q not in go list metadata", path)
+	}
+	if ld.checking[path] {
+		return nil, fmt.Errorf("load: import cycle through %q", path)
+	}
+	ld.checking[path] = true
+	defer delete(ld.checking, path)
+
+	files, err := ld.parse(m)
+	if err != nil {
+		return nil, err
+	}
+	var softErrs []error
+	conf := types.Config{
+		Importer:         &pkgImporter{ld: ld, from: m},
+		IgnoreFuncBodies: m.Standard, // APIs suffice for dependencies
+		FakeImportC:      true,
+		Error:            func(err error) { softErrs = append(softErrs, err) },
+	}
+	tpkg, err := conf.Check(path, ld.fset, files, nil)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking dependency %s: %v", path, err)
+	}
+	ld.checked[path] = tpkg
+	return tpkg, nil
+}
+
+// pkgImporter resolves one package's imports: source-path spellings go
+// through the importing package's ImportMap (std vendoring), then the
+// loader's metadata; unknown paths fall back to the GOROOT source
+// importer.
+type pkgImporter struct {
+	ld   *loader
+	from *listedPackage
+}
+
+func (pi *pkgImporter) Import(path string) (*types.Package, error) {
+	return pi.ImportFrom(path, "", 0)
+}
+
+func (pi *pkgImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if mapped, ok := pi.from.ImportMap[path]; ok {
+		path = mapped
+	}
+	if _, ok := pi.ld.meta[path]; ok || path == "unsafe" {
+		return pi.ld.ensure(path)
+	}
+	if pi.ld.fallback != nil {
+		return pi.ld.fallback.ImportFrom(path, dir, mode)
+	}
+	return nil, fmt.Errorf("load: cannot resolve import %q", path)
+}

@@ -1,0 +1,186 @@
+// Package noalloc defines an analyzer that turns the engine's
+// alloc-ceiling benchmarks into a compile-time guarantee: a function
+// annotated //pbist:noalloc must contain no allocating constructs in
+// its own body.
+//
+// Reported constructs: make and new, non-self append (append whose
+// result is not assigned back over its own first argument — the
+// capacity-reuse idiom `x = append(x, ...)` into a pre-sized borrowed
+// buffer is the one sanctioned append shape), slice/map/pointer
+// composite literals, function literals (closure allocation), go
+// statements, string concatenation and []byte/[]rune→string
+// conversions, and explicit conversions of concrete values to
+// interface types.
+//
+// The check is deliberately shallow: it inspects only the annotated
+// body, not callees. Hot paths are annotated leaf kernels, so the
+// transitive guarantee is the union of annotations, and a call to an
+// unannotated allocating helper is visible in the benchmark ceilings
+// the annotation complements.
+package noalloc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/annot"
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/scratchcall"
+)
+
+// Analyzer is the noalloc check.
+var Analyzer = &framework.Analyzer{
+	Name: "noalloc",
+	Doc:  "check that //pbist:noalloc functions contain no allocating constructs",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !annot.InGroup(fd.Doc, annot.NoAlloc) {
+				continue
+			}
+			c := &allocChecker{pass: pass, allowedAppends: make(map[*ast.CallExpr]bool)}
+			c.markSelfAppends(fd.Body)
+			c.check(fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+type allocChecker struct {
+	pass           *framework.Pass
+	allowedAppends map[*ast.CallExpr]bool
+}
+
+// builtinName resolves call to the name of the builtin it invokes, ""
+// for ordinary calls.
+func (c *allocChecker) builtinName(call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// markSelfAppends records the append calls in the sanctioned
+// capacity-reuse shape: `x = append(x, ...)` (and x, y = append(x,…),
+// append(y,…)), where the result overwrites the slice it grew.
+func (c *allocChecker) markSelfAppends(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || c.builtinName(call) != "append" || len(call.Args) == 0 {
+				continue
+			}
+			lhsID := scratchcall.RootIdent(as.Lhs[i])
+			argID := scratchcall.RootIdent(call.Args[0])
+			if lhsID == nil || argID == nil {
+				continue
+			}
+			lv := scratchcall.Var(c.pass.TypesInfo, lhsID)
+			av := scratchcall.Var(c.pass.TypesInfo, argID)
+			if lv != nil && lv == av {
+				c.allowedAppends[call] = true
+			}
+		}
+		return true
+	})
+}
+
+// check reports every allocating construct in body.
+func (c *allocChecker) check(body *ast.BlockStmt) {
+	info := c.pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch c.builtinName(n) {
+			case "make":
+				c.pass.Reportf(n.Pos(), "make in //pbist:noalloc function allocates")
+			case "new":
+				c.pass.Reportf(n.Pos(), "new in //pbist:noalloc function allocates")
+			case "append":
+				if !c.allowedAppends[n] {
+					c.pass.Reportf(n.Pos(), "append in //pbist:noalloc function may allocate; only the self-assigned capacity-reuse form x = append(x, ...) is permitted")
+				}
+			case "":
+				c.checkConversion(n)
+			}
+		case *ast.CompositeLit:
+			switch types.Unalias(info.TypeOf(n)).Underlying().(type) {
+			case *types.Slice, *types.Map:
+				c.pass.Reportf(n.Pos(), "slice or map literal in //pbist:noalloc function allocates")
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					c.pass.Reportf(n.Pos(), "&composite literal in //pbist:noalloc function allocates")
+				}
+			}
+		case *ast.FuncLit:
+			c.pass.Reportf(n.Pos(), "function literal in //pbist:noalloc function allocates a closure")
+			return false
+		case *ast.GoStmt:
+			c.pass.Reportf(n.Pos(), "go statement in //pbist:noalloc function allocates a goroutine")
+		case *ast.BinaryExpr:
+			if n.Op.String() == "+" {
+				if t := info.TypeOf(n); t != nil {
+					if b, ok := types.Unalias(t).Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						c.pass.Reportf(n.Pos(), "string concatenation in //pbist:noalloc function allocates")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkConversion reports explicit conversions that allocate: concrete
+// value to interface type, and []byte/[]rune to string (or back).
+func (c *allocChecker) checkConversion(call *ast.CallExpr) {
+	info := c.pass.TypesInfo
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	dst := types.Unalias(tv.Type).Underlying()
+	srcT := info.TypeOf(call.Args[0])
+	if srcT == nil {
+		return
+	}
+	src := types.Unalias(srcT).Underlying()
+	if _, isIface := dst.(*types.Interface); isIface {
+		if _, srcIface := src.(*types.Interface); !srcIface {
+			c.pass.Reportf(call.Pos(), "conversion to interface type in //pbist:noalloc function allocates")
+		}
+		return
+	}
+	dstStr := isString(dst)
+	srcStr := isString(src)
+	if dstStr != srcStr && (isByteOrRuneSlice(dst) || isByteOrRuneSlice(src)) {
+		c.pass.Reportf(call.Pos(), "string/byte-slice conversion in //pbist:noalloc function allocates")
+	}
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := types.Unalias(s.Elem()).Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Int32 || b.Kind() == types.Uint8)
+}

@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/noalloc"
+)
+
+func TestNoalloc(t *testing.T) {
+	analysistest.Run(t, noalloc.Analyzer, analysistest.Dir("noalloc", "a"))
+}

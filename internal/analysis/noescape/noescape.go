@@ -1,0 +1,231 @@
+// Package noescape defines an analyzer enforcing the borrow-lifetime
+// half of the arena contract: a borrowed scratch buffer (Scratch.Get/
+// GetZero) or carved chunk window (Chunk.Carve) is only valid inside
+// the traversal that borrowed it, so it must not outlive the function
+// — not stored in a struct field or composite literal, not returned,
+// not captured by a go-statement closure, not sent on a channel.
+//
+// Passing a borrowed slice DOWN the call graph is fine (that is the
+// whole *Into kernel contract), as is using it inside a function
+// literal that runs synchronously (parallel.For bodies); only the
+// go keyword moves a closure to an unbounded lifetime.
+//
+// Tracking is alias-closed and flow-insensitive: any variable assigned
+// from a borrow, a carve, or an alias (including reslices) of one is
+// borrowed everywhere in the function. Deliberate handoffs — carved
+// windows stored into the nodes that own them, functions that return
+// borrows by design — are declared with //pbist:owner at the borrow
+// site, the escape site, or the function level.
+package noescape
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/annot"
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/scratchcall"
+)
+
+// Analyzer is the noescape check.
+var Analyzer = &framework.Analyzer{
+	Name: "noescape",
+	Doc:  "check that borrowed scratch and chunk slices do not escape the borrowing function",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	for _, file := range pass.Files {
+		af := annot.NewFile(pass.Fset, file)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c := &escChecker{
+				pass:      pass,
+				af:        af,
+				funcOwner: annot.InGroup(fd.Doc, annot.Owner),
+				borrowed:  make(map[*types.Var]bool),
+			}
+			c.collect(fd.Body)
+			c.check(fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+type escChecker struct {
+	pass      *framework.Pass
+	af        *annot.File
+	funcOwner bool
+	borrowed  map[*types.Var]bool
+}
+
+// isBorrowSource reports whether rhs produces a borrowed value: a
+// borrow/carve call or an alias (possibly resliced) of an
+// already-borrowed variable.
+func (c *escChecker) isBorrowSource(rhs ast.Expr) bool {
+	rhs = ast.Unparen(rhs)
+	if call, ok := rhs.(*ast.CallExpr); ok {
+		kind, _ := scratchcall.Classify(c.pass.TypesInfo, call)
+		return kind == scratchcall.Borrow || kind == scratchcall.Carve
+	}
+	if id := scratchcall.RootIdent(rhs); id != nil {
+		if v := scratchcall.Var(c.pass.TypesInfo, id); v != nil {
+			return c.borrowed[v]
+		}
+	}
+	return false
+}
+
+// collect computes the borrowed-variable set to a fixed point, so
+// aliases of aliases are found regardless of statement order.
+func (c *escChecker) collect(body *ast.BlockStmt) {
+	for changed := true; changed; {
+		changed = false
+		bind := func(lhs, rhs ast.Expr) {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				return
+			}
+			v := scratchcall.Var(c.pass.TypesInfo, id)
+			if v == nil || c.borrowed[v] {
+				return
+			}
+			// An owner-marked borrow is owned, not borrowed: its escapes
+			// are deliberate.
+			if c.funcOwner || c.af.MarkedAt(rhs.Pos(), annot.Owner) {
+				return
+			}
+			if c.isBorrowSource(rhs) {
+				c.borrowed[v] = true
+				changed = true
+			}
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Rhs {
+						bind(n.Lhs[i], n.Rhs[i])
+					}
+				} else if len(n.Rhs) == 1 {
+					// Multi-value borrow: Chunk.Carve returns its keys/
+					// vals/exists triple in one call, so every target of
+					// rep, vv, ex := ch.Carve(...) is borrowed.
+					for _, lhs := range n.Lhs {
+						bind(lhs, n.Rhs[0])
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) == len(n.Values) {
+					for i := range n.Values {
+						bind(n.Names[i], n.Values[i])
+					}
+				} else if len(n.Values) == 1 {
+					for _, name := range n.Names {
+						bind(name, n.Values[0])
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// check walks the body reporting escapes of borrowed values.
+func (c *escChecker) check(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Rhs {
+					c.checkStore(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if c.isBorrowSource(r) && !c.allowedAt(r.Pos()) {
+					c.pass.Reportf(r.Pos(), "borrowed scratch slice is returned; it must not outlive the borrowing function (mark //pbist:owner if ownership transfers)")
+				}
+			}
+		case *ast.SendStmt:
+			if c.isBorrowSource(n.Value) && !c.allowedAt(n.Value.Pos()) {
+				c.pass.Reportf(n.Value.Pos(), "borrowed scratch slice is sent on a channel; the receiver would outlive the borrow")
+			}
+		case *ast.GoStmt:
+			c.checkGoCapture(n)
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if c.isBorrowSource(v) && !c.allowedAt(v.Pos()) {
+					c.pass.Reportf(v.Pos(), "borrowed scratch slice is stored in a composite literal; the literal may outlive the borrow")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkStore flags a borrowed value assigned to a non-local location
+// (a struct field, a map or slice element, a dereference).
+func (c *escChecker) checkStore(lhs, rhs ast.Expr) {
+	if !c.isBorrowSource(rhs) || c.allowedAt(rhs.Pos()) {
+		return
+	}
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		// A local alias is tracked by collect and is not an escape by
+		// itself, but a package-level variable outlives any borrow.
+		if v := scratchcall.Var(c.pass.TypesInfo, l); v != nil && v.Parent() == c.pass.Pkg.Scope() {
+			c.pass.Reportf(lhs.Pos(), "borrowed scratch slice is stored in a package variable; it outlives the borrow")
+		}
+	case *ast.SelectorExpr:
+		c.pass.Reportf(lhs.Pos(), "borrowed scratch slice is stored in a struct field; the field outlives the borrow (mark //pbist:owner if ownership transfers)")
+	case *ast.IndexExpr, *ast.StarExpr:
+		c.pass.Reportf(lhs.Pos(), "borrowed scratch slice is stored through a pointer or element; the target may outlive the borrow")
+	}
+}
+
+// checkGoCapture flags borrowed variables referenced inside a
+// go-statement closure: the goroutine's lifetime is unbounded relative
+// to the borrow. Borrowed slices passed as call arguments are
+// evaluated before the goroutine starts but still retained by it, so
+// arguments are checked too.
+func (c *escChecker) checkGoCapture(g *ast.GoStmt) {
+	if c.funcOwner {
+		return
+	}
+	report := func(pos token.Pos, name string) {
+		if !c.allowedAt(pos) {
+			c.pass.Reportf(pos, "borrowed scratch slice %s is captured by a goroutine; the goroutine may outlive the borrow", name)
+		}
+	}
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if v := scratchcall.Var(c.pass.TypesInfo, id); v != nil && c.borrowed[v] {
+					report(id.Pos(), id.Name)
+				}
+			}
+			return true
+		})
+	}
+	for _, a := range g.Call.Args {
+		if id := scratchcall.RootIdent(a); id != nil {
+			if v := scratchcall.Var(c.pass.TypesInfo, id); v != nil && c.borrowed[v] {
+				report(a.Pos(), id.Name)
+			}
+		}
+	}
+}
+
+// allowedAt reports whether an escape at pos is explicitly sanctioned.
+func (c *escChecker) allowedAt(pos token.Pos) bool {
+	return c.funcOwner || c.af.MarkedAt(pos, annot.Owner)
+}

@@ -1,0 +1,12 @@
+package noescape_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/noescape"
+)
+
+func TestNoescape(t *testing.T) {
+	analysistest.Run(t, noescape.Analyzer, analysistest.Dir("noescape", "a"))
+}

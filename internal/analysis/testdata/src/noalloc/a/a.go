@@ -1,0 +1,143 @@
+// Package a is the noalloc golden package: //pbist:noalloc functions
+// containing each allocating construct the analyzer reports, the
+// sanctioned capacity-reuse append shape, and unannotated functions
+// that allocate freely.
+package a
+
+type pair struct{ k, v int }
+
+func consume(x any) {}
+func runs(f func()) {}
+
+// badMake allocates a temporary.
+//
+//pbist:noalloc
+func badMake(n int) []int {
+	tmp := make([]int, n) // want `make in //pbist:noalloc function allocates`
+	return tmp
+}
+
+// badNew allocates a pointer.
+//
+//pbist:noalloc
+func badNew() *pair {
+	return new(pair) // want `new in //pbist:noalloc function allocates`
+}
+
+// badAppend grows someone else's slice.
+//
+//pbist:noalloc
+func badAppend(dst, src []int) []int {
+	out := append(dst, src...) // want `append in //pbist:noalloc function may allocate`
+	return out
+}
+
+// selfAppend is the sanctioned capacity-reuse idiom: the result
+// overwrites the slice it grew, into pre-sized capacity.
+//
+//pbist:noalloc
+func selfAppend(dst []int, src []int) []int {
+	dst = dst[:0]
+	for _, x := range src {
+		dst = append(dst, x)
+	}
+	return dst
+}
+
+// badLiteral allocates backing storage.
+//
+//pbist:noalloc
+func badLiteral() []int {
+	return []int{1, 2, 3} // want `slice or map literal in //pbist:noalloc function allocates`
+}
+
+// badPointerLiteral heap-allocates the struct.
+//
+//pbist:noalloc
+func badPointerLiteral() *pair {
+	return &pair{k: 1} // want `&composite literal in //pbist:noalloc function allocates`
+}
+
+// badClosure allocates a closure object.
+//
+//pbist:noalloc
+func badClosure(n int) {
+	runs(func() { _ = n }) // want `function literal in //pbist:noalloc function allocates a closure`
+}
+
+// badGo allocates a goroutine.
+//
+//pbist:noalloc
+func badGo() {
+	go helper() // want `go statement in //pbist:noalloc function allocates a goroutine`
+}
+
+// badConcat allocates the joined string.
+//
+//pbist:noalloc
+func badConcat(a, b string) string {
+	return a + b // want `string concatenation in //pbist:noalloc function allocates`
+}
+
+// badIfaceConv boxes the int.
+//
+//pbist:noalloc
+func badIfaceConv(x int) {
+	consume(any(x)) // want `conversion to interface type in //pbist:noalloc function allocates`
+}
+
+// badStringConv copies the bytes.
+//
+//pbist:noalloc
+func badStringConv(b []byte) string {
+	return string(b) // want `string/byte-slice conversion in //pbist:noalloc function allocates`
+}
+
+// cleanKernel is a representative zero-alloc fast path: index
+// arithmetic, reslicing, copies, and self-append only.
+//
+//pbist:noalloc
+func cleanKernel(dst, a, b []int) []int {
+	dst = dst[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			dst = append(dst, a[i])
+			i++
+		} else {
+			dst = append(dst, b[j])
+			j++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	dst = append(dst, b[j:]...)
+	copy(dst[:0], dst)
+	return dst
+}
+
+// genericBad shows the check is instantiation-independent.
+//
+//pbist:noalloc
+func genericBad[T any](n int) []T {
+	return make([]T, n) // want `make in //pbist:noalloc function allocates`
+}
+
+// genericClean is the clean generic kernel shape.
+//
+//pbist:noalloc
+func genericClean[T any](dst, src []T) []T {
+	dst = dst[:0]
+	for _, x := range src {
+		dst = append(dst, x)
+	}
+	return dst
+}
+
+// unannotated allocates freely: not the analyzer's business.
+func unannotated(n int) []int {
+	out := make([]int, 0, n)
+	out = append(out, []int{1, 2}...)
+	return out
+}
+
+func helper() {}

@@ -1,0 +1,131 @@
+// Package a is the noescape golden package: mini Scratch and Chunk
+// types exercised by every escape route the analyzer guards — field
+// stores, returns, channel sends, goroutine captures, composite
+// literals, package variables — plus the clean downward-passing and
+// synchronous-closure shapes the kernels rely on.
+package a
+
+// Scratch mimics arena.Scratch for the analyzer's name-based match.
+type Scratch[T any] struct{}
+
+func (s *Scratch[T]) Get(n int) []T { return make([]T, n) }
+func (s *Scratch[T]) Put(buf []T)   {}
+
+// Chunk mimics arena.Chunk: carved windows follow the same escape
+// rules as borrows.
+type Chunk[K any] struct{}
+
+func (c *Chunk[K]) Carve(lo, hi int) []K { return make([]K, hi-lo) }
+
+type holder struct {
+	keys []int
+}
+
+var sink []int
+
+func use(buf []int)       {}
+func fill(buf []int)      {}
+func each(f func(i int))  {}
+func useT[T any](buf []T) {}
+
+// fieldStore parks a borrow in a struct field.
+func fieldStore(s *Scratch[int], h *holder) {
+	buf := s.Get(8)
+	h.keys = buf // want `stored in a struct field`
+	s.Put(buf)
+}
+
+// globalStore parks a borrow in a package variable.
+func globalStore(s *Scratch[int]) {
+	buf := s.Get(8)
+	sink = buf // want `stored in a package variable`
+	s.Put(buf)
+}
+
+// returned hands the borrow to the caller.
+func returned(s *Scratch[int]) []int {
+	buf := s.Get(8)
+	return buf // want `returned`
+}
+
+// aliasReturned escapes through a reslice alias.
+func aliasReturned(s *Scratch[int]) []int {
+	buf := s.Get(8)
+	head := buf[:4]
+	return head // want `returned`
+}
+
+// sent pushes the borrow through a channel.
+func sent(s *Scratch[int], ch chan []int) {
+	buf := s.Get(8)
+	ch <- buf // want `sent on a channel`
+	s.Put(buf)
+}
+
+// goCapture closes over the borrow in a goroutine.
+func goCapture(s *Scratch[int]) {
+	buf := s.Get(8)
+	go func() {
+		use(buf) // want `captured by a goroutine`
+	}()
+}
+
+// goArg passes the borrow as a goroutine argument.
+func goArg(s *Scratch[int]) {
+	buf := s.Get(8)
+	go use(buf) // want `captured by a goroutine`
+}
+
+// compositeStore embeds the borrow in a literal that outlives it.
+func compositeStore(s *Scratch[int]) *holder {
+	buf := s.Get(8)
+	return &holder{keys: buf} // want `stored in a composite literal`
+}
+
+// carveStore: carved chunk windows follow the same rules.
+func carveStore(ch *Chunk[int], h *holder) {
+	win := ch.Carve(0, 4)
+	h.keys = win // want `stored in a struct field`
+}
+
+// passesDown is the clean kernel shape: borrowed buffers flow down
+// the call graph and come back.
+func passesDown(s *Scratch[int]) {
+	buf := s.Get(8)
+	fill(buf)
+	s.Put(buf)
+}
+
+// syncClosure uses the borrow inside a synchronously-run literal:
+// fine — only the go keyword unbounds a closure's lifetime.
+func syncClosure(s *Scratch[int]) {
+	buf := s.Get(8)
+	each(func(i int) { buf[i] = i })
+	s.Put(buf)
+}
+
+// ownerStore transfers ownership at the marked store site.
+func ownerStore(s *Scratch[int], h *holder) {
+	h.keys = s.Get(8) //pbist:owner
+}
+
+// carveOwner builds the node that owns its carved windows; the
+// doc-level mark sanctions every store in the function.
+//
+//pbist:owner
+func carveOwner(ch *Chunk[int], h *holder) {
+	h.keys = ch.Carve(0, 4)
+}
+
+// genericReturn shows the check is instantiation-independent.
+func genericReturn[T any](s *Scratch[T]) []T {
+	buf := s.Get(8)
+	return buf // want `returned`
+}
+
+// genericClean is the clean generic shape.
+func genericClean[T any](s *Scratch[T]) {
+	buf := s.Get(8)
+	useT(buf)
+	s.Put(buf)
+}

@@ -68,6 +68,7 @@ type shard[T any] struct {
 	mu     sync.Mutex
 	free   [numClasses][][]T
 	gets   int64
+	puts   int64
 	reuses int64
 	_      [24]byte // keep neighboring shards off one cache line
 }
@@ -120,6 +121,8 @@ func (s *Scratch[T]) Get(n int) []T {
 // GetZero returns a zeroed buffer of length n. Use it wherever the
 // caller's algorithm relies on zero initialization (recycled buffers
 // come back dirty).
+//
+//pbist:owner
 func (s *Scratch[T]) GetZero(n int) []T {
 	buf := s.Get(n)
 	clear(buf)
@@ -141,10 +144,28 @@ func (s *Scratch[T]) Put(buf []T) {
 	}
 	sh := &s.shards[rand.Uint32()&(numShards-1)]
 	sh.mu.Lock()
+	sh.puts++
 	if len(sh.free[c]) < maxPerClass {
 		sh.free[c] = append(sh.free[c], buf[:cap(buf)])
 	}
 	sh.mu.Unlock()
+}
+
+// Balance reports the Get and Put calls that went through the free
+// list. Disabled and beyond-class traffic is excluded symmetrically on
+// both sides, so for a caller that returns every borrow — the
+// arenapair contract pbistvet enforces statically — gets == puts
+// whenever no operation is in flight. The borrow-balance regression
+// tests assert exactly that after exercising the batched paths.
+func (s *Scratch[T]) Balance() (gets, puts int64) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		gets += sh.gets
+		puts += sh.puts
+		sh.mu.Unlock()
+	}
+	return gets, puts
 }
 
 // Stats reports the total Get calls served and how many of them reused

@@ -171,7 +171,7 @@ type op[K cmp.Ordered, V any] struct {
 // through epochs executed on a single Engine. Create one with New;
 // all exported methods are safe for concurrent use.
 type Combiner[K cmp.Ordered, V any] struct {
-	eng  Engine[K, V]
+	eng  Engine[K, V] //pbist:guardedby combiner
 	pool *parallel.Pool
 	opts Options
 
@@ -194,6 +194,7 @@ type Combiner[K cmp.Ordered, V any] struct {
 	// The bundle may be shared with other Combiners (NewShared): the
 	// free lists are concurrency-safe and buffers carry no identity,
 	// so one combiner's retired epoch buffers become another's.
+	//pbist:guardedby combiner
 	scr *Scratch[K, V]
 
 	smu sync.Mutex

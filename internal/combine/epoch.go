@@ -26,6 +26,8 @@ type event[K cmp.Ordered] struct {
 // results, and applies the surviving last-wins writes with at most one
 // PutBatched and one RemoveBatched traversal. keyCount and sized feed
 // the statistics.
+//
+//pbist:combiner
 func (c *Combiner[K, V]) runEpoch(ops []*op[K, V], keyCount int, sized bool) {
 	start := time.Now()
 

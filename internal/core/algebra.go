@@ -39,6 +39,8 @@ func (t *Tree[K, V]) algebraPool(n int) *parallel.Pool {
 // themselves running in parallel with each other on the receiver's
 // pool. The caller must return both pairs with t.ar.putKV once the
 // data has been copied onward.
+//
+//pbist:owner
 func (t *Tree[K, V]) flattenPairScratch(other *Tree[K, V]) (ak []K, av []V, bk []K, bv []V) {
 	t.pool.Do(
 		func() { ak, av = t.flattenScratch(t.root) },
@@ -56,6 +58,8 @@ func (t *Tree[K, V]) flattenPairScratch(other *Tree[K, V]) (ak []K, av []V, bk [
 
 // combineDst borrows a combine destination large enough for any result
 // over operands of combined size n.
+//
+//pbist:owner
 func (t *Tree[K, V]) combineDst(n int) ([]K, []V) {
 	return t.ar.keys.Get(n), t.ar.vals.Get(n)
 }

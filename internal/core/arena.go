@@ -51,6 +51,8 @@ func newTreeArena[K iindex.Numeric, V any](disabled bool) *treeArena[K, V] {
 }
 
 // putKV returns a flatten/merge buffer pair.
+//
+//pbist:releases
 func (a *treeArena[K, V]) putKV(ks []K, vs []V) {
 	a.keys.Put(ks)
 	a.vals.Put(vs)

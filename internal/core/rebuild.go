@@ -32,6 +32,8 @@ func (t *Tree[K, V]) flatten(v *node[K, V]) ([]K, []V) {
 // copies every key into chunk storage) and then returns both buffers
 // with t.ar.putKV, at which point a retired flatten buffer becomes the
 // next rebuild's merge or flatten buffer.
+//
+//pbist:owner
 func (t *Tree[K, V]) flattenScratch(v *node[K, V]) ([]K, []V) {
 	if v == nil {
 		return nil, nil
@@ -152,6 +154,8 @@ func idealChild(m, k, i int) (lo, hi int) {
 // split is deterministic in m), so the whole subtree's node headers
 // and children arrays come from two bulk allocations instead of one
 // or two per node.
+//
+//pbist:owner
 func (t *Tree[K, V]) buildInto(ch arena.Chunk[K, V], base int, keys []K, vals []V) *node[K, V] {
 	m := len(keys)
 	if m == 0 {
@@ -200,6 +204,8 @@ func (t *Tree[K, V]) buildInto(ch arena.Chunk[K, V], base int, keys []K, vals []
 
 // fillLeaf initializes v as a leaf over keys/vals with storage carved
 // from ch at base.
+//
+//pbist:owner
 func (t *Tree[K, V]) fillLeaf(v *node[K, V], ch arena.Chunk[K, V], base int, keys []K, vals []V) {
 	m := len(keys)
 	rep, vv, ex := ch.Carve(base, m)
@@ -255,6 +261,8 @@ func countIdeal(m, leafCap int) (nodes, kids int) {
 
 // buildSeqInto is buildInto below the parallel cutoff: same splits,
 // node storage from the slab, no forking.
+//
+//pbist:owner
 func (t *Tree[K, V]) buildSeqInto(ch arena.Chunk[K, V], slab *buildSlab[K, V], base int, keys []K, vals []V) *node[K, V] {
 	m := len(keys)
 	if m == 0 {

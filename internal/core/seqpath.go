@@ -47,7 +47,7 @@ func (s *scratch) buf(depth, n int) []int32 {
 	}
 	if cap(s.levels[depth]) < n {
 		s.src.Put(s.levels[depth])
-		s.levels[depth] = s.src.Get(n)
+		s.levels[depth] = s.src.Get(n) //pbist:owner — the walker retains level buffers; release() returns them
 	}
 	return s.levels[depth][:n]
 }

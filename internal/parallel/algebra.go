@@ -41,6 +41,8 @@ func UnionKV[K Ordered, V any](p *Pool, ak []K, av []V, bk []K, bv []V) ([]K, []
 // allocated otherwise. The tree-to-tree algebra passes recycled
 // scratch buffers here so flatten-combine-rebuild cycles allocate no
 // combine temporaries.
+//
+//pbist:noalloc
 func UnionKVInto[K Ordered, V any](p *Pool, ak []K, av []V, bk []K, bv []V, dstK []K, dstV []V) ([]K, []V) {
 	checkKV("UnionKV", ak, av, bk, bv)
 	return algebraKV(p, ak, av, bk, bv, opUnion, dstK, dstV)
@@ -56,6 +58,8 @@ func IntersectKV[K Ordered, V any](p *Pool, ak []K, av []V, bk []K, bv []V) ([]K
 
 // IntersectKVInto is IntersectKV under the destination contract of
 // UnionKVInto (output at most min(len(ak), len(bk))).
+//
+//pbist:noalloc
 func IntersectKVInto[K Ordered, V any](p *Pool, ak []K, av []V, bk []K, bv []V, dstK []K, dstV []V) ([]K, []V) {
 	checkKV("IntersectKV", ak, av, bk, bv)
 	return algebraKV(p, ak, av, bk, bv, opIntersect, dstK, dstV)
@@ -73,6 +77,8 @@ func SymmetricDifferenceKV[K Ordered, V any](p *Pool, ak []K, av []V, bk []K, bv
 // SymmetricDifferenceKVInto is SymmetricDifferenceKV under the
 // destination contract of UnionKVInto (output at most
 // len(ak)+len(bk)).
+//
+//pbist:noalloc
 func SymmetricDifferenceKVInto[K Ordered, V any](p *Pool, ak []K, av []V, bk []K, bv []V, dstK []K, dstV []V) ([]K, []V) {
 	checkKV("SymmetricDifferenceKV", ak, av, bk, bv)
 	return algebraKV(p, ak, av, bk, bv, opSymDiff, dstK, dstV)
@@ -89,6 +95,8 @@ func checkKV[K Ordered, V any](name string, ak []K, av []V, bk []K, bv []V) {
 // cases, balances the split by blocking over the larger input, and
 // runs the count/scan/write passes. dstK/dstV carry the optional
 // caller-provided destinations of the *Into variants.
+//
+//pbist:noalloc
 func algebraKV[K Ordered, V any](p *Pool, ak []K, av []V, bk []K, bv []V, op algebraOp, dstK []K, dstV []V) ([]K, []V) {
 	// An empty operand makes every op a copy (or nothing, for
 	// intersection).
@@ -134,6 +142,15 @@ func algebraKV[K Ordered, V any](p *Pool, ak []K, av []V, bk []K, bv []V, op alg
 		algebraSeg(ak, av, bk, bv, op, commonFromFirst, outK, outV)
 		return outK, outV
 	}
+	return algebraKVPar(p, ak, av, bk, bv, op, commonFromFirst, dstK, dstV, blocks)
+}
+
+// algebraKVPar is the segmented tail of algebraKV, split out so the
+// dispatching wrapper stays //pbist:noalloc: the segment bookkeeping
+// below allocates, and it only runs when the pool has already decided
+// the operands are large enough to fork.
+func algebraKVPar[K Ordered, V any](p *Pool, ak []K, av []V, bk []K, bv []V, op algebraOp, commonFromFirst bool, dstK []K, dstV []V, blocks int) ([]K, []V) {
+	n := len(ak)
 	bs := (n + blocks - 1) / blocks
 
 	// Segment i pairs a[i·bs, (i+1)·bs) with the b range holding keys
@@ -175,6 +192,8 @@ func algebraKV[K Ordered, V any](p *Pool, ak []K, av []V, bk []K, bv []V, op alg
 // value slices may be nil too); otherwise it writes pairs and assumes
 // the destinations are large enough. commonFromFirst selects which
 // side's value a key present in both inputs keeps.
+//
+//pbist:noalloc
 func algebraSeg[K Ordered, V any](ak []K, av []V, bk []K, bv []V, op algebraOp, commonFromFirst bool, dstK []K, dstV []V) int {
 	i, j, w := 0, 0, 0
 	write := dstK != nil

@@ -64,6 +64,8 @@ func FilterIndex[T any](p *Pool, arr []T, pred func(i int) bool) []T {
 // ignored) and is freshly allocated otherwise, so callers can feed
 // recycled scratch buffers of worst-case size len(arr) and allocate
 // nothing on the hot path.
+//
+//pbist:noalloc
 func FilterIndexInto[T any](p *Pool, arr []T, dst []T, pred func(i int) bool) []T {
 	n := len(arr)
 	if n == 0 {
@@ -79,19 +81,17 @@ func FilterIndexInto[T any](p *Pool, arr []T, dst []T, pred func(i int) bool) []
 		}
 		return out
 	}
-	bs := (n + blocks - 1) / blocks
+	return filterIndexPar(p, arr, dst, pred, blocks)
+}
 
-	counts := make([]int, blocks)
-	For(p, blocks, 1, func(b int) {
-		lo, hi := b*bs, min((b+1)*bs, n)
-		c := 0
-		for i := lo; i < hi; i++ {
-			if pred(i) {
-				c++
-			}
-		}
-		counts[b] = c
-	})
+// filterIndexPar is the blocked tail of FilterIndexInto, split out so
+// the dispatching wrapper stays //pbist:noalloc: the count/scan
+// bookkeeping below allocates, and it only runs when the pool has
+// already decided the array is large enough to fork.
+func filterIndexPar[T any](p *Pool, arr []T, dst []T, pred func(i int) bool, blocks int) []T {
+	n := len(arr)
+	bs := (n + blocks - 1) / blocks
+	counts := predCounts(p, n, bs, blocks, pred)
 	total := ScanInPlace(nil, counts)
 	out := sized(dst, total)
 	For(p, blocks, 1, func(b int) {
@@ -107,6 +107,23 @@ func FilterIndexInto[T any](p *Pool, arr []T, dst []T, pred func(i int) bool) []
 	return out
 }
 
+// predCounts is pass 1 of both blocked filters: per-block match
+// counts, ready for the exclusive scan into scatter offsets.
+func predCounts(p *Pool, n, bs, blocks int, pred func(i int) bool) []int {
+	counts := make([]int, blocks)
+	For(p, blocks, 1, func(b int) {
+		lo, hi := b*bs, min((b+1)*bs, n)
+		c := 0
+		for i := lo; i < hi; i++ {
+			if pred(i) {
+				c++
+			}
+		}
+		counts[b] = c
+	})
+	return counts
+}
+
 // FilterIndices returns, in ascending order, the indices i in [0, n)
 // that satisfy pred. The batched tree uses it to find run boundaries in
 // a position array with O(n) work and O(log n) span.
@@ -116,6 +133,8 @@ func FilterIndices(p *Pool, n int, pred func(i int) bool) []int {
 
 // FilterIndicesInto is FilterIndices writing into dst under the same
 // capacity-reuse contract as FilterIndexInto.
+//
+//pbist:noalloc
 func FilterIndicesInto(p *Pool, n int, dst []int, pred func(i int) bool) []int {
 	if n <= 0 {
 		return nil
@@ -130,19 +149,14 @@ func FilterIndicesInto(p *Pool, n int, dst []int, pred func(i int) bool) []int {
 		}
 		return out
 	}
-	bs := (n + blocks - 1) / blocks
+	return filterIndicesPar(p, n, dst, pred, blocks)
+}
 
-	counts := make([]int, blocks)
-	For(p, blocks, 1, func(b int) {
-		lo, hi := b*bs, min((b+1)*bs, n)
-		c := 0
-		for i := lo; i < hi; i++ {
-			if pred(i) {
-				c++
-			}
-		}
-		counts[b] = c
-	})
+// filterIndicesPar is the blocked tail of FilterIndicesInto, split out
+// for the same reason as filterIndexPar.
+func filterIndicesPar(p *Pool, n int, dst []int, pred func(i int) bool, blocks int) []int {
+	bs := (n + blocks - 1) / blocks
+	counts := predCounts(p, n, bs, blocks, pred)
 	total := ScanInPlace(nil, counts)
 	out := sized(dst, total)
 	For(p, blocks, 1, func(b int) {

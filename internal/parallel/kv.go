@@ -22,6 +22,8 @@ func MergeKV[K Ordered, V any](p *Pool, ak []K, av []V, bk []K, bv []V) ([]K, []
 // allocated otherwise. The tree's rebuild paths pass recycled scratch
 // buffers here so a flatten-merge-rebuild cycle allocates no merge
 // temporaries.
+//
+//pbist:noalloc
 func MergeKVInto[K Ordered, V any](p *Pool, ak []K, av []V, bk []K, bv []V, dstK []K, dstV []V) ([]K, []V) {
 	if len(ak) != len(av) || len(bk) != len(bv) {
 		panic("parallel: MergeKV keys/vals length mismatch")
@@ -82,6 +84,7 @@ func mergeKVInto[K Ordered, V any](p *Pool, ak []K, av []V, bk []K, bv []V, dstK
 	}
 }
 
+//pbist:noalloc
 func mergeKVSeq[K Ordered, V any](ak []K, av []V, bk []K, bv []V, dstK []K, dstV []V) {
 	i, j, k := 0, 0, 0
 	for i < len(ak) && j < len(bk) {
@@ -119,7 +122,11 @@ func DifferenceKV[K Ordered, V any](p *Pool, ak []K, av []V, b []K) ([]K, []V) {
 
 // DifferenceKVInto is DifferenceKV writing into dstK/dstV under the
 // same capacity-reuse contract as MergeKVInto (worst-case output size
-// is len(ak)).
+// is len(ak)). Its own body is allocation-free: with sufficient dst
+// capacity, only diffKVPar's blocked bookkeeping allocates, and that
+// path is taken only when the pool decides the batch is worth forking.
+//
+//pbist:noalloc
 func DifferenceKVInto[K Ordered, V any](p *Pool, ak []K, av []V, b []K, dstK []K, dstV []V) ([]K, []V) {
 	if len(ak) != len(av) {
 		panic("parallel: DifferenceKV keys/vals length mismatch")
@@ -145,6 +152,15 @@ func DifferenceKVInto[K Ordered, V any](p *Pool, ak []K, av []V, b []K, dstK []K
 		diffKVBlock(ak, av, b, outK, outV)
 		return outK, outV
 	}
+	return diffKVPar(p, ak, av, b, dstK, dstV, blocks)
+}
+
+// diffKVPar is the blocked tail of DifferenceKVInto, split out so the
+// dispatching wrapper stays //pbist:noalloc: the per-block bookkeeping
+// below allocates, and it only runs when the pool has already decided
+// the batch is large enough to fork.
+func diffKVPar[K Ordered, V any](p *Pool, ak []K, av []V, b []K, dstK []K, dstV []V, blocks int) ([]K, []V) {
+	n := len(ak)
 	bs := (n + blocks - 1) / blocks
 
 	// Pass 1: per-block survivor counts. Each block walks the range of
@@ -169,6 +185,8 @@ func DifferenceKVInto[K Ordered, V any](p *Pool, ak []K, av []V, b []K, dstK []K
 // With dstK == nil it only counts survivors (av may be nil too);
 // otherwise it writes surviving pairs and assumes the destinations are
 // large enough.
+//
+//pbist:noalloc
 func diffKVBlock[K Ordered, V any](ak []K, av []V, b []K, dstK []K, dstV []V) int {
 	if len(ak) == 0 {
 		return 0

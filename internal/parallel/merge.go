@@ -17,6 +17,8 @@ func Merge[K Ordered](p *Pool, a, b []K) []K {
 // len(a)+len(b). It allows callers that manage their own buffers (the
 // leaf-merge step of batched insertion, the rebuild path) to avoid an
 // allocation per merge.
+//
+//pbist:noalloc
 func MergeInto[K Ordered](p *Pool, a, b []K, dst []K) {
 	if len(dst) != len(a)+len(b) {
 		panic("parallel: MergeInto destination length mismatch")
@@ -72,6 +74,7 @@ func mergeInto[K Ordered](p *Pool, a, b []K, dst []K) {
 	}
 }
 
+//pbist:noalloc
 func mergeSeq[K Ordered](a, b, dst []K) {
 	i, j, k := 0, 0, 0
 	for i < len(a) && j < len(b) {

@@ -17,6 +17,8 @@ func Rank[K Ordered](p *Pool, a, b []K) []int {
 
 // RankInto is Rank writing into a caller-provided slice of length
 // len(b).
+//
+//pbist:noalloc
 func RankInto[K Ordered](p *Pool, a, b []K, out []int) {
 	if len(out) != len(b) {
 		panic("parallel: RankInto output length mismatch")
@@ -71,6 +73,8 @@ func rankRec[K Ordered](p *Pool, a, b []K, out []int, aBase int) {
 
 // rankSeq ranks a sorted run of b against a with a single merge-style
 // sweep: O(|a|+|b|).
+//
+//pbist:noalloc
 func rankSeq[K Ordered](a, b []K, out []int, aBase int) {
 	j := 0
 	for i, x := range b {

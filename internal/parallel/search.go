@@ -9,6 +9,8 @@ type Ordered = cmp.Ordered
 // LowerBound returns the number of elements of the sorted slice a that
 // are strictly less than x, i.e. the first index at which x could be
 // inserted while keeping a sorted with x placed before equal elements.
+//
+//pbist:noalloc
 func LowerBound[K Ordered](a []K, x K) int {
 	lo, hi := 0, len(a)
 	for lo < hi {
@@ -24,6 +26,8 @@ func LowerBound[K Ordered](a []K, x K) int {
 
 // UpperBound returns the number of elements of the sorted slice a that
 // are less than or equal to x. This is ElemRank(a, x) of §2.4.
+//
+//pbist:noalloc
 func UpperBound[K Ordered](a []K, x K) int {
 	lo, hi := 0, len(a)
 	for lo < hi {

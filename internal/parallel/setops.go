@@ -54,6 +54,8 @@ func setOp[K Ordered](p *Pool, a, b []K, keepPresent bool) []K {
 // setOpBlock walks one block of a against the aligned range of b. With
 // dst == nil it only counts survivors; otherwise it writes them to dst
 // and assumes dst is large enough.
+//
+//pbist:noalloc
 func setOpBlock[K Ordered](a, b []K, keepPresent bool, dst []K) int {
 	if len(a) == 0 {
 		return 0
