@@ -10,6 +10,7 @@
 //	pbench -experiment fig17 -dist clustered -clusters 128
 //	pbench -experiment map -workers 1,4,8
 //	pbench -experiment concurrent -clients 1,4,16,64
+//	pbench -latency -rate 200 -json
 //	pbench -experiment setalgebra -workers 8
 //	pbench -experiment seqcmp -reps 5
 //	pbench -experiment traverse
@@ -36,8 +37,8 @@ import (
 // -experiment all executes them. Unknown names are rejected against
 // this table before any setup work happens.
 var experimentOrder = []string{
-	"fig17", "map", "concurrent", "sharded", "setalgebra", "seqcmp", "traverse", "rebuildc",
-	"treap", "leafcap", "indexfactor", "batchsize",
+	"fig17", "map", "concurrent", "sharded", "latency", "setalgebra", "seqcmp", "traverse",
+	"rebuildc", "treap", "leafcap", "indexfactor", "batchsize",
 }
 
 func main() {
@@ -51,6 +52,8 @@ func main() {
 		clientsCSV = flag.String("clients", "1,4,16,64", "client-goroutine counts for the concurrent experiment (comma separated); the last entry is the client count of the sharded experiment")
 		shardsCSV  = flag.String("shards", "1,2,4,8,16", "shard counts for the sharded experiment (comma separated)")
 		batchKeys  = flag.Int("batchkeys", 64, "keys per client mini-batch in the sharded experiment")
+		latency    = flag.Bool("latency", false, "shorthand for -experiment latency: open-loop latency percentiles for the concurrent and sharded frontends")
+		rate       = flag.Float64("rate", 200, "offered load of the latency experiment in thousand ops/s across all clients (0 = closed loop / saturation)")
 		reps       = flag.Int("reps", 3, "repetitions per measurement (paper: 10)")
 		rounds     = flag.Int("rounds", 4, "churn rounds for the rebuildc ablation")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
@@ -64,6 +67,12 @@ func main() {
 
 	if *csv && *jsonOut {
 		fatalUsage("-csv and -json are mutually exclusive")
+	}
+	if *latency {
+		if *experiment != "all" && *experiment != "latency" {
+			fatalUsage("-latency conflicts with -experiment " + *experiment)
+		}
+		*experiment = "latency"
 	}
 	names := []string{*experiment}
 	if *experiment == "all" {
@@ -100,6 +109,8 @@ func main() {
 			return runConcurrent(w, clients, *reps)
 		case "sharded":
 			return runSharded(w, clients[len(clients)-1], shards, *batchKeys, *reps)
+		case "latency":
+			return runLatency(w, clients[len(clients)-1], shards[len(shards)-1], *rate, *reps)
 		case "setalgebra":
 			return runSetAlgebra(w, workers[len(workers)-1], *reps)
 		case "seqcmp":
@@ -190,7 +201,8 @@ func runMap(w bench.Workload, workers []int, reps int) ([]string, [][]string) {
 
 func runConcurrent(w bench.Workload, clients []int, reps int) ([]string, [][]string) {
 	rows := bench.RunConcurrentWorkload(w, clients, reps)
-	header := []string{"clients", "combine_mops", "rwmutex_map_mops", "sync_map_mops", "epoch_ops"}
+	header := []string{"clients", "combine_mops", "rwmutex_map_mops", "sync_map_mops", "epoch_ops",
+		"epoch_keys", "size_flushes", "mean_wait_us"}
 	cells := make([][]string, 0, len(rows))
 	for _, r := range rows {
 		cells = append(cells, []string{
@@ -199,6 +211,30 @@ func runConcurrent(w bench.Workload, clients []int, reps int) ([]string, [][]str
 			fmt.Sprintf("%.3f", r.RWMapMops),
 			fmt.Sprintf("%.3f", r.SyncMapMops),
 			fmt.Sprintf("%.1f", r.EpochOps),
+			fmt.Sprintf("%.1f", r.EpochKeys),
+			strconv.FormatInt(r.SizeFlushes, 10),
+			fmt.Sprintf("%.1f", r.MeanWaitUS),
+		})
+	}
+	return header, cells
+}
+
+func runLatency(w bench.Workload, clients, shards int, rateKops float64, reps int) ([]string, [][]string) {
+	rows := bench.RunLatencyWorkload(w, clients, shards, rateKops, reps)
+	header := []string{"frontend", "dist", "clients", "offered_kops", "achieved_kops",
+		"mean_us", "p50_us", "p90_us", "p99_us", "p999_us", "max_us"}
+	cells := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Frontend, r.Dist, strconv.Itoa(r.Clients),
+			fmt.Sprintf("%.1f", r.OfferedKops),
+			fmt.Sprintf("%.1f", r.AchievedKops),
+			fmt.Sprintf("%.1f", r.MeanUS),
+			fmt.Sprintf("%.1f", r.P50US),
+			fmt.Sprintf("%.1f", r.P90US),
+			fmt.Sprintf("%.1f", r.P99US),
+			fmt.Sprintf("%.1f", r.P999US),
+			fmt.Sprintf("%.1f", r.MaxUS),
 		})
 	}
 	return header, cells
@@ -207,7 +243,7 @@ func runConcurrent(w bench.Workload, clients []int, reps int) ([]string, [][]str
 func runSharded(w bench.Workload, clients int, shards []int, batchKeys, reps int) ([]string, [][]string) {
 	rows := bench.RunShardedWorkload(w, clients, shards, batchKeys, reps)
 	header := []string{"shards", "mkeys_s", "speedup", "epochs", "epoch_keys",
-		"min_shard_keys", "max_shard_keys"}
+		"min_shard_keys", "max_shard_keys", "filter_short_circuits", "mean_wait_us"}
 	cells := make([][]string, 0, len(rows))
 	for _, r := range rows {
 		shardCell := strconv.Itoa(r.Shards)
@@ -222,6 +258,8 @@ func runSharded(w bench.Workload, clients int, shards []int, batchKeys, reps int
 			fmt.Sprintf("%.1f", r.EpochKeys),
 			strconv.FormatInt(r.MinShardKeys, 10),
 			strconv.FormatInt(r.MaxShardKeys, 10),
+			strconv.FormatInt(r.FilterShorts, 10),
+			fmt.Sprintf("%.1f", r.MeanWaitUS),
 		})
 	}
 	return header, cells

@@ -1,0 +1,47 @@
+package arena
+
+import (
+	"unsafe"
+
+	"repro/internal/obs"
+)
+
+// ObserveScratch registers one free list's live telemetry with r as
+// gauge functions under prefix: retained idle buffers, their summed
+// capacity in elements and in bytes, and the cumulative Get and
+// reuse-hit counts (whose ratio is the free list's hit rate). Several
+// scratches registered under one prefix — the per-element-type lists
+// of a tree arena or a combiner bundle — sum into single gauges,
+// except for the bytes gauge, which each instantiation scales by its
+// own element size first.
+//
+// Snapshot-time cost only: nothing is recorded on the Get/Put paths,
+// the gauges read the same mutex-guarded counters Stats and Retained
+// expose.
+func ObserveScratch[T any](r *obs.Registry, prefix string, s *Scratch[T]) {
+	if r == nil || s == nil {
+		return
+	}
+	var zero T
+	elemSize := int64(unsafe.Sizeof(zero))
+	r.Func(prefix+".retained_buffers", func() int64 {
+		b, _ := s.Retained()
+		return int64(b)
+	})
+	r.Func(prefix+".retained_elems", func() int64 {
+		_, e := s.Retained()
+		return e
+	})
+	r.Func(prefix+".retained_bytes", func() int64 {
+		_, e := s.Retained()
+		return e * elemSize
+	})
+	r.Func(prefix+".gets", func() int64 {
+		g, _ := s.Stats()
+		return g
+	})
+	r.Func(prefix+".reuses", func() int64 {
+		_, u := s.Stats()
+		return u
+	})
+}

@@ -18,6 +18,9 @@ type ConcurrentRow struct {
 	RWMapMops   float64 // sync.RWMutex around a pbist.Map
 	SyncMapMops float64 // sync.Map
 	EpochOps    float64 // mean ops combined per epoch (frontend only)
+	EpochKeys   float64 // mean keys combined per epoch
+	SizeFlushes int64   // epochs flushed by the MaxBatch size trigger
+	MeanWaitUS  float64 // mean µs an op queued before its epoch began
 }
 
 // script op kinds; the per-client scripts are generated once per
@@ -160,6 +163,9 @@ func RunConcurrentWorkload(w Workload, clients []int, reps int) []ConcurrentRow 
 			row.CombineMops = mops(scripts[0], total/time.Duration(reps))
 			st := c.Stats()
 			row.EpochOps = st.MeanOps
+			row.EpochKeys = st.MeanKeys
+			row.SizeFlushes = st.SizeFlushes
+			row.MeanWaitUS = float64(st.MeanWait.Nanoseconds()) / 1e3
 			c.Close()
 		}
 

@@ -22,6 +22,8 @@ type ShardedRow struct {
 	EpochKeys    float64 // mean keys per epoch (combining quality)
 	MinShardKeys int64   // lightest shard's key count (balance floor)
 	MaxShardKeys int64   // heaviest shard's key count (balance ceiling)
+	FilterShorts int64   // point lookups answered by a Bloom filter alone
+	MeanWaitUS   float64 // ops-weighted mean µs an op queued before its epoch
 }
 
 // shardedScript is one client's replayable mini-batch sequence: the
@@ -152,6 +154,7 @@ func RunShardedWorkload(w Workload, clients int, shards []int, batchKeys, reps i
 		row.Epochs = st.Epochs
 		row.EpochKeys = st.MeanKeys
 		row.MinShardKeys, row.MaxShardKeys = st.Keys, st.Keys
+		row.MeanWaitUS = float64(st.MeanWait.Nanoseconds()) / 1e3
 		rows = append(rows, row)
 	}
 	baseMops := rows[0].Mops
@@ -176,6 +179,15 @@ func RunShardedWorkload(w Workload, clients int, shards []int, batchKeys, reps i
 		row.Epochs = st.Epochs
 		if st.Epochs > 0 {
 			row.EpochKeys = float64(st.Keys) / float64(st.Epochs)
+		}
+		row.FilterShorts = st.FilterShortCircuits
+		// Ops-weighted mean combine wait across the shard group.
+		var waitNS float64
+		for _, ps := range st.PerShard {
+			waitNS += float64(ps.MeanWait.Nanoseconds()) * float64(ps.Ops)
+		}
+		if st.Ops > 0 {
+			row.MeanWaitUS = waitNS / float64(st.Ops) / 1e3
 		}
 		row.MinShardKeys = st.PerShard[0].Keys
 		for _, ps := range st.PerShard {

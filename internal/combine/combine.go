@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/arena"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -65,6 +66,11 @@ type Scratch[K cmp.Ordered, V any] struct {
 	vals  arena.Scratch[V]
 	bools arena.Scratch[bool]
 	i32s  arena.Scratch[int32]
+
+	// obsOnce makes Observe idempotent: a bundle shared by a whole
+	// shard group registers its gauges exactly once however many
+	// combiners hold it.
+	obsOnce sync.Once
 }
 
 // NewScratch returns an empty combiner scratch arena. With disabled
@@ -117,6 +123,21 @@ type Options struct {
 	// through the combiner's arena. The default (false) recycles
 	// them across epochs; results are identical either way.
 	NoBufferReuse bool
+
+	// Metrics attaches the combiner to an observability registry:
+	// epoch counters, phase-span and client-latency histograms record
+	// under the "combine." prefix, and epoch tracing turns on. nil
+	// (the default) disables all recording at zero cost — the hot
+	// paths carry nil metric handles whose methods no-op.
+	Metrics *obs.Registry
+	// TraceDepth bounds the ring of recent epoch traces kept for
+	// Trace. 0 selects obs.DefaultTraceDepth when Metrics is set and
+	// leaves tracing off otherwise; setting it enables tracing even
+	// without a registry.
+	TraceDepth int
+	// ID tags this combiner's epoch traces (the sharded frontend sets
+	// it to the shard index; standalone combiners leave it 0).
+	ID int
 }
 
 func (o Options) withDefaults() Options {
@@ -197,6 +218,12 @@ type Combiner[K cmp.Ordered, V any] struct {
 	//pbist:guardedby combiner
 	scr *Scratch[K, V]
 
+	// probe is the combiner's observability hook: nil unless the
+	// combiner was built with Options.Metrics or Options.TraceDepth.
+	// Its handles are internally synchronized (Trace reads the ring
+	// from client goroutines), so it is not combiner-confined.
+	probe *probe
+
 	smu sync.Mutex
 	st  counters
 }
@@ -251,6 +278,7 @@ func NewShared[K cmp.Ordered, V any](eng Engine[K, V], pool *parallel.Pool, opts
 	if scr == nil || opts.NoBufferReuse {
 		scr = NewScratch[K, V](opts.NoBufferReuse)
 	}
+	scr.Observe(opts.Metrics, "combine.scratch")
 	c := &Combiner[K, V]{
 		eng:      eng,
 		pool:     pool,
@@ -258,6 +286,7 @@ func NewShared[K cmp.Ordered, V any](eng Engine[K, V], pool *parallel.Pool, opts
 		wake:     make(chan struct{}, 1),
 		loopDone: make(chan struct{}),
 		scr:      scr,
+		probe:    newProbe(opts.Metrics, opts.TraceDepth, opts.ID),
 	}
 	c.opPool.New = func() any {
 		return &op[K, V]{done: make(chan struct{}, 1)}
@@ -366,7 +395,18 @@ func (c *Combiner[K, V]) loop() {
 		c.pendingKeys = 0
 		c.mu.Unlock()
 
-		c.runEpoch(batch, keys, keys >= c.opts.MaxBatch)
+		sized := keys >= c.opts.MaxBatch
+		if c.probe != nil {
+			// Tag the epoch (and every pool goroutine it forks — pprof
+			// labels inherit) so CPU profiles attribute combining work.
+			// The branch keeps the unobserved path free of the closure
+			// allocation.
+			parallel.WithLabel(true, "combine-epoch", func() {
+				c.runEpoch(batch, keys, sized)
+			})
+		} else {
+			c.runEpoch(batch, keys, sized)
+		}
 	}
 }
 

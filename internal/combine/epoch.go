@@ -30,6 +30,7 @@ type event[K cmp.Ordered] struct {
 //pbist:combiner
 func (c *Combiner[K, V]) runEpoch(ops []*op[K, V], keyCount int, sized bool) {
 	start := time.Now()
+	pr := c.probe
 
 	// Flatten the epoch into events. Fences carry no keys and resolve
 	// after the writes. The event list and every per-run array below
@@ -74,6 +75,14 @@ func (c *Combiner[K, V]) runEpoch(ops []*op[K, V], keyCount int, sized bool) {
 	runStart = append(runStart, int32(len(events)))
 	nruns := len(readKeys)
 
+	// The phase stamps below are taken only when the combiner is
+	// observed; together with start and end they tile the epoch into
+	// the sort/read/replay/write/publish spans of its trace.
+	var tSort, tRead, tReplay, tWrite time.Time
+	if pr != nil {
+		tSort = time.Now()
+	}
+
 	// One batched read traversal resolves the pre-epoch state of every
 	// key the epoch touches; values ride along only when a Get needs
 	// them.
@@ -86,6 +95,9 @@ func (c *Combiner[K, V]) runEpoch(ops []*op[K, V], keyCount int, sized bool) {
 			preFound = c.eng.ContainsBatched(readKeys)
 		}
 	}
+	if pr != nil {
+		tRead = time.Now()
+	}
 
 	// Replay every key's events in linearization order, in parallel
 	// across keys: presence (and value) evolve per event, each event
@@ -95,47 +107,14 @@ func (c *Combiner[K, V]) runEpoch(ops []*op[K, V], keyCount int, sized bool) {
 	putMark := c.scr.bools.GetZero(nruns)
 	delMark := c.scr.bools.GetZero(nruns)
 	winVal := c.scr.vals.GetZero(nruns)
-	parallel.For(c.pool, nruns, 256, func(r int) {
-		present := preFound[r]
-		var val V
-		if needVals {
-			val = preVals[r]
-		}
-		wrote := false
-		for i := runStart[r]; i < runStart[r+1]; i++ {
-			e := events[i]
-			o := ops[e.op]
-			switch o.kind {
-			case kindGet:
-				o.rvals[e.sub] = val
-				o.rfound[e.sub] = present
-			case kindContains:
-				o.rfound[e.sub] = present
-			case kindPut:
-				o.rfound[e.sub] = !present
-				present = true
-				val = o.vals[e.sub]
-				wrote = true
-			case kindDelete:
-				o.rfound[e.sub] = present
-				present = false
-				wrote = true
-			}
-		}
-		if !wrote {
-			return
-		}
-		switch {
-		case present:
-			// The last state-setting write was a Put: install its value
-			// (an upsert also when the key pre-existed, since the value
-			// may differ).
-			putMark[r] = true
-			winVal[r] = val
-		case preFound[r]:
-			delMark[r] = true
-		}
-	})
+	if pr != nil {
+		parallel.WithLabel(true, "combine-replay", func() {
+			c.replayRuns(ops, events, runStart, preVals, preFound, putMark, delMark, winVal, needVals, nruns)
+		})
+		tReplay = time.Now()
+	} else {
+		c.replayRuns(ops, events, runStart, preVals, preFound, putMark, delMark, winVal, needVals, nruns)
+	}
 
 	// Gather the surviving writes in run order — readKeys is sorted, so
 	// the write batches are sorted and duplicate-free as the engine
@@ -162,6 +141,9 @@ func (c *Combiner[K, V]) runEpoch(ops []*op[K, V], keyCount int, sized bool) {
 	}
 	if len(delK) > 0 {
 		c.eng.RemoveBatched(delK)
+	}
+	if pr != nil {
+		tWrite = time.Now()
 	}
 
 	// Fences linearize here, after every keyed operation of the epoch.
@@ -210,7 +192,60 @@ func (c *Combiner[K, V]) runEpoch(ops []*op[K, V], keyCount int, sized bool) {
 	c.st.waitTotal += waitSum
 	c.smu.Unlock()
 
+	if pr != nil {
+		c.traceEpoch(ops, keyCount, sized, start, tSort, tRead, tReplay, tWrite, time.Now())
+	}
+
 	for _, o := range ops {
 		o.done <- struct{}{}
 	}
+}
+
+// replayRuns is the replay stage of runEpoch, extracted so the
+// observed path can run it under a pprof label without forcing a
+// closure allocation on the unobserved path. It touches no
+// combiner-confined state — everything it needs arrives as epoch-local
+// scratch.
+func (c *Combiner[K, V]) replayRuns(ops []*op[K, V], events []event[K], runStart []int32, preVals []V, preFound []bool, putMark, delMark []bool, winVal []V, needVals bool, nruns int) {
+	parallel.For(c.pool, nruns, 256, func(r int) {
+		present := preFound[r]
+		var val V
+		if needVals {
+			val = preVals[r]
+		}
+		wrote := false
+		for i := runStart[r]; i < runStart[r+1]; i++ {
+			e := events[i]
+			o := ops[e.op]
+			switch o.kind {
+			case kindGet:
+				o.rvals[e.sub] = val
+				o.rfound[e.sub] = present
+			case kindContains:
+				o.rfound[e.sub] = present
+			case kindPut:
+				o.rfound[e.sub] = !present
+				present = true
+				val = o.vals[e.sub]
+				wrote = true
+			case kindDelete:
+				o.rfound[e.sub] = present
+				present = false
+				wrote = true
+			}
+		}
+		if !wrote {
+			return
+		}
+		switch {
+		case present:
+			// The last state-setting write was a Put: install its value
+			// (an upsert also when the key pre-existed, since the value
+			// may differ).
+			putMark[r] = true
+			winVal[r] = val
+		case preFound[r]:
+			delMark[r] = true
+		}
+	})
 }

@@ -38,6 +38,10 @@ type treeArena[K iindex.Numeric, V any] struct {
 
 	chunkBuilds atomic.Int64 // chunked subtree (re)builds
 	chunkKeys   atomic.Int64 // key slots laid into chunks
+
+	// obsOnce makes observe idempotent: an arena shared by a whole
+	// shard group registers its gauges exactly once.
+	obsOnce sync.Once
 }
 
 func newTreeArena[K iindex.Numeric, V any](disabled bool) *treeArena[K, V] {

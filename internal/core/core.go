@@ -42,6 +42,7 @@ package core
 
 import (
 	"repro/internal/iindex"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -84,6 +85,12 @@ type Config struct {
 	// Results are identical either way; the knob exists for leak
 	// analysis, allocation profiling, and differential testing.
 	DisableBufferReuse bool
+	// Metrics attaches the tree to an observability registry: rebuild
+	// events record under "core.rebuild.*" and the arena's retention
+	// and hit-rate telemetry registers as live gauges under
+	// "core.arena.*" / "core.chunk.*". nil (the default) disables all
+	// recording at zero cost.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -107,6 +114,7 @@ type Tree[K iindex.Numeric, V any] struct {
 	cfg  Config
 	pool *parallel.Pool
 	ar   *treeArena[K, V]
+	obs  *coreObs // nil unless cfg.Metrics was set
 }
 
 // node is one IST node (§3.1 plus the bookkeeping of §6–§7). Leaves
@@ -136,11 +144,14 @@ func (v *node[K, V]) isLeaf() bool { return v.children == nil }
 // sequential execution.
 func New[K iindex.Numeric, V any](cfg Config, pool *parallel.Pool) *Tree[K, V] {
 	cfg = cfg.withDefaults()
-	return &Tree[K, V]{
+	t := &Tree[K, V]{
 		cfg:  cfg,
 		pool: pool,
 		ar:   newTreeArena[K, V](cfg.DisableBufferReuse),
+		obs:  newCoreObs(cfg.Metrics),
 	}
+	t.ar.observe(cfg.Metrics)
+	return t
 }
 
 // NewWithArena is New with a caller-provided SharedArena instead of a
@@ -154,7 +165,9 @@ func NewWithArena[K iindex.Numeric, V any](cfg Config, pool *parallel.Pool, sa *
 		return New[K, V](cfg, pool)
 	}
 	cfg = cfg.withDefaults()
-	return &Tree[K, V]{cfg: cfg, pool: pool, ar: sa.ar}
+	t := &Tree[K, V]{cfg: cfg, pool: pool, ar: sa.ar, obs: newCoreObs(cfg.Metrics)}
+	t.ar.observe(cfg.Metrics)
+	return t
 }
 
 // NewFromSortedKVWithArena bulk-loads a tree (as NewFromSortedKV) with

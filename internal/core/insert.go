@@ -1,6 +1,10 @@
 package core
 
-import "repro/internal/parallel"
+import (
+	"time"
+
+	"repro/internal/parallel"
+)
 
 // InsertBatched adds every key of the sorted duplicate-free batch with
 // a zero value and returns the number of keys actually inserted (keys
@@ -82,14 +86,19 @@ func (t *Tree[K, V]) PutBatched(keys []K, vals []V) int {
 // the merged pairs into chunk storage, so consecutive rebuilds cycle
 // the same backing arrays.
 func (t *Tree[K, V]) rebuildMerged(v *node[K, V], keys []K, vals []V, l, r int) *node[K, V] {
+	var t0 time.Time
+	if t.obs != nil {
+		t0 = time.Now()
+	}
 	flatK, flatV := t.flattenScratch(v)
 	n := len(flatK) + (r - l)
 	mkBuf := t.ar.keys.Get(n)
 	mvBuf := t.ar.vals.Get(n)
 	mk, mv := parallel.MergeKVInto(t.pool, flatK, flatV, keys[l:r], vals[l:r], mkBuf, mvBuf)
-	root := t.buildIdeal(mk, mv)
+	root := t.labeledBuild(mk, mv)
 	t.ar.putKV(flatK, flatV)
 	t.ar.putKV(mkBuf, mvBuf)
+	t.recordRebuild(t0, len(mk))
 	return root
 }
 
@@ -97,13 +106,18 @@ func (t *Tree[K, V]) rebuildMerged(v *node[K, V], keys []K, vals []V, l, r int) 
 // flatten v, subtract the triggering sub-batch, rebuild ideally, with
 // the same scratch lifetimes as rebuildMerged.
 func (t *Tree[K, V]) rebuildSubtracted(v *node[K, V], keys []K, l, r int) *node[K, V] {
+	var t0 time.Time
+	if t.obs != nil {
+		t0 = time.Now()
+	}
 	flatK, flatV := t.flattenScratch(v)
 	dkBuf := t.ar.keys.Get(len(flatK))
 	dvBuf := t.ar.vals.Get(len(flatV))
 	keptK, keptV := parallel.DifferenceKVInto(t.pool, flatK, flatV, keys[l:r], dkBuf, dvBuf)
-	root := t.buildIdeal(keptK, keptV)
+	root := t.labeledBuild(keptK, keptV)
 	t.ar.putKV(flatK, flatV)
 	t.ar.putKV(dkBuf, dvBuf)
+	t.recordRebuild(t0, len(keptK))
 	return root
 }
 

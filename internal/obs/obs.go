@@ -1,0 +1,293 @@
+// Package obs is the engine's observability layer: striped atomic
+// counters, gauges, log-bucketed latency histograms with quantile
+// extraction, a named-metric Registry with point-in-time snapshots and
+// JSON/expvar export, and a bounded ring of structured epoch traces.
+//
+// The design constraint is the same one the arena package answers for
+// memory: instrumentation must not perturb the thing it measures. Every
+// recording primitive is allocation-free (enforced by the pbistvet
+// noalloc analyzer on the hot methods) and nil-safe — a nil *Registry
+// yields nil metric handles, and every method on a nil handle is an
+// inlinable no-op, so code instruments unconditionally and pays nothing
+// when observability is off. Counters are striped across padded cells
+// to keep concurrent increments off one cache line, mirroring the
+// shard-spreading trick Scratch uses for its free lists.
+//
+// Metrics are named, registered idempotently (asking for the same name
+// twice returns the same instance, so N shards recording under one name
+// aggregate automatically), and exported through Snapshot — a plain
+// JSON-marshalable struct. Live values that belong to some other
+// subsystem (arena retention, tree size) are registered as gauge
+// functions with Func; several functions under one name sum, which is
+// how per-element-type arena scratches roll up into one gauge.
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"io"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// numCells is the number of independent cells a Counter stripes its
+// increments across (power of two). Concurrent Adds land on random
+// cells, so parallel replay workers incrementing one counter do not
+// serialize on a single cache line.
+const numCells = 8
+
+// Counter is a monotonically adjusted striped atomic counter. The zero
+// value is ready to use; all methods are safe for concurrent use and
+// safe on a nil receiver (no-op / zero).
+type Counter struct {
+	cells [numCells]cell
+}
+
+// cell pads each stripe to its own cache line.
+type cell struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// Add adds d to the counter.
+//
+//pbist:noalloc
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.cells[rand.Uint32()&(numCells-1)].n.Add(d)
+}
+
+// Load returns the current total across all stripes. Concurrent Adds
+// may or may not be included — the sum is not a linearized snapshot.
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	var total int64
+	for i := range c.cells {
+		total += c.cells[i].n.Load()
+	}
+	return total
+}
+
+// Gauge is a last-writer-wins atomic level. The zero value is ready to
+// use; all methods are nil-safe.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+//
+//pbist:noalloc
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by d.
+//
+//pbist:noalloc
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Load returns the current level.
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Registry is a named-metric namespace. Metric handles are created on
+// first use and returned verbatim afterwards, so any number of
+// subsystems recording under one name share one instance. A nil
+// *Registry is the disabled state: every lookup returns a nil handle
+// whose methods no-op, which is how the engine's hot paths stay
+// zero-cost when observability is off.
+//
+// The zero value is ready to use. All methods are safe for concurrent
+// use; handle lookups take a mutex, so resolve handles once at setup
+// time, not per operation.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	funcs    map[string][]func() int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. Returns nil (a no-op handle) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counters == nil {
+		r.counters = make(map[string]*Counter)
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use. Returns nil (a no-op handle) on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gauges == nil {
+		r.gauges = make(map[string]*Gauge)
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// on first use. Returns nil (a no-op handle) on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.hists == nil {
+		r.hists = make(map[string]*Histogram)
+	}
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Func registers fn as a live gauge evaluated at snapshot time.
+// Registering several functions under one name sums their results —
+// deliberately, so independent sources of the same quantity (one
+// arena scratch per element type, one tree per shard) aggregate into a
+// single exported value. fn must be safe to call from any goroutine.
+// No-op on a nil registry.
+func (r *Registry) Func(name string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.funcs == nil {
+		r.funcs = make(map[string][]func() int64)
+	}
+	r.funcs[name] = append(r.funcs[name], fn)
+}
+
+// Snapshot is one point-in-time export of a registry. It is a plain
+// data struct: json.Marshal produces the wire form, and the maps are
+// sorted by encoding/json for stable diffs. Values are gathered
+// metric-by-metric without a global lock, so a snapshot taken under
+// concurrent load is internally consistent per metric but not
+// linearized across metrics.
+type Snapshot struct {
+	TakenUnixNano int64                   `json:"taken_unix_nano"`
+	Counters      map[string]int64        `json:"counters,omitempty"`
+	Gauges        map[string]int64        `json:"gauges,omitempty"`
+	Histograms    map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every registered metric. Gauge functions are
+// evaluated now and land in Gauges (summed per name, overriding no
+// stored gauge — Func and Gauge under the same name also sum). Returns
+// the zero Snapshot on a nil registry.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{TakenUnixNano: time.Now().UnixNano()}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
+	}
+	funcs := make(map[string][]func() int64, len(r.funcs))
+	for n, fs := range r.funcs {
+		funcs[n] = fs
+	}
+	r.mu.Unlock()
+
+	if len(counters) > 0 {
+		s.Counters = make(map[string]int64, len(counters))
+		for n, c := range counters {
+			s.Counters[n] = c.Load()
+		}
+	}
+	if len(gauges) > 0 || len(funcs) > 0 {
+		s.Gauges = make(map[string]int64, len(gauges)+len(funcs))
+		for n, g := range gauges {
+			s.Gauges[n] += g.Load()
+		}
+		for n, fs := range funcs {
+			for _, fn := range fs {
+				s.Gauges[n] += fn()
+			}
+		}
+	}
+	if len(hists) > 0 {
+		s.Histograms = make(map[string]HistSnapshot, len(hists))
+		for n, h := range hists {
+			s.Histograms[n] = h.Snapshot()
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the current snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// PublishExpvar publishes the registry under name in the process-wide
+// expvar namespace, rendering a full snapshot on every scrape. The
+// publication is skipped (not replaced) if the name is already taken —
+// expvar.Publish panics on duplicates, and tests re-register freely.
+// No-op on a nil registry.
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil || expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

@@ -1,0 +1,23 @@
+package parallel
+
+import (
+	"context"
+	"runtime/pprof"
+)
+
+// WithLabel runs f under the pprof label pbist_phase=phase when
+// enabled, so CPU profiles attribute the work — and the work of every
+// goroutine f forks, since pprof labels are inherited at go-statement
+// time — to a named engine phase (combine-epoch, combine-replay,
+// rebuild). With enabled false, f runs directly; callers on hot paths
+// should branch before constructing the closure so the disabled path
+// allocates nothing.
+func WithLabel(enabled bool, phase string, f func()) {
+	if !enabled {
+		f()
+		return
+	}
+	pprof.Do(context.Background(), pprof.Labels("pbist_phase", phase), func(context.Context) {
+		f()
+	})
+}

@@ -1,0 +1,35 @@
+package shard
+
+import "repro/internal/obs"
+
+// Obs bundles the scatter-gather metric handles a sharded frontend
+// records into: how long batches take to split into per-shard
+// sub-batches, how long per-shard results take to stitch back into
+// input order, and how often the per-shard Bloom filters short-circuit
+// point lookups versus passing them through to a combiner. All handles
+// are nil-safe, so callers record unconditionally once an Obs exists;
+// a nil *Obs is the fully disabled state.
+type Obs struct {
+	Scatter *obs.Histogram // ns to split one batch (Split/SplitPairs)
+	Stitch  *obs.Histogram // ns to stitch one shard's results back
+	// FilterShort counts point lookups answered "absent" by a filter
+	// alone; FilterPass counts lookups the filter let through. Their
+	// ratio is the short-circuit rate; Pass includes both true
+	// positives and Bloom false positives.
+	FilterShort *obs.Counter
+	FilterPass  *obs.Counter
+}
+
+// NewObs resolves the shard metric handles under the "shard." prefix;
+// nil registry → nil Obs.
+func NewObs(r *obs.Registry) *Obs {
+	if r == nil {
+		return nil
+	}
+	return &Obs{
+		Scatter:     r.Histogram("shard.scatter_ns"),
+		Stitch:      r.Histogram("shard.stitch_ns"),
+		FilterShort: r.Counter("shard.filter.short_circuits"),
+		FilterPass:  r.Counter("shard.filter.passes"),
+	}
+}

@@ -25,6 +25,11 @@ type ConcurrentOptions struct {
 	// not delayed and n active clients coalesce into n-op epochs.
 	// Default 200µs.
 	MaxWait time.Duration
+	// TraceDepth bounds the per-combiner ring of recent epoch traces
+	// readable through Trace. 0 keeps a default-depth ring when
+	// Options.Metrics is set and disables tracing otherwise; setting
+	// it enables tracing even without a registry.
+	TraceDepth int
 }
 
 func (o ConcurrentOptions) combineOptions() combine.Options {
@@ -32,6 +37,8 @@ func (o ConcurrentOptions) combineOptions() combine.Options {
 		MaxBatch:      o.MaxBatch,
 		MaxWait:       o.MaxWait,
 		NoBufferReuse: o.ReuseBuffers == ReuseOff,
+		Metrics:       o.Metrics,
+		TraceDepth:    o.TraceDepth,
 	}
 }
 
@@ -304,6 +311,16 @@ type ConcurrentStats struct {
 	// MeanWait is the mean time an operation spent queued before its
 	// epoch began executing.
 	MeanWait time.Duration
+}
+
+// Trace returns up to n recent epoch traces, newest first (n <= 0
+// means all retained). Each trace decomposes one combining epoch into
+// its named phase spans; see EpochTrace. Tracing is enabled by
+// Options.Metrics or ConcurrentOptions.TraceDepth — without either,
+// Trace returns nil. Safe to call concurrently with in-flight
+// operations; the traces are copies and the call takes no fence.
+func (c *Concurrent[K, V]) Trace(n int) []EpochTrace {
+	return c.cb.Trace(n)
 }
 
 // Stats returns a snapshot of combining behavior.

@@ -72,6 +72,25 @@
 // while a single isolated client pays queue latency for no batching
 // benefit. Rule of thumb: own the batch, use Tree/Map; share the
 // structure, use Concurrent.
+//
+// Sharded relaxes observation, not operation: per-key operations stay
+// linearizable, but Stats and Trace gather per-shard snapshots with no
+// cross-shard fence — each shard's counters are read while the other
+// shards keep executing, so the result is consistent per shard only.
+//
+// # Observability
+//
+// Setting Options.Metrics to a Metrics registry (NewMetrics) turns on
+// engine-wide instrumentation: combining-epoch counters and
+// client-observed latency histograms, core rebuild events, arena
+// retention gauges, and shard scatter/stitch/filter metrics, exported
+// point-in-time via Snapshot, WriteJSON, or PublishExpvar. Like a
+// Sharded Stats call, a Snapshot is gathered without stopping the
+// engine: consistent per metric, not linearized across metrics. A nil
+// registry (the default) disables all recording at zero cost. The
+// combining frontends additionally retain a bounded ring of structured
+// epoch traces readable through Trace; see ARCHITECTURE.md's
+// Observability section for the metric catalog.
 package pbist
 
 import (
@@ -135,6 +154,15 @@ type Options struct {
 	// next reuse; set ReuseOff if even bounded retention of value
 	// memory matters.
 	ReuseBuffers ReuseMode
+	// Metrics attaches the engine to an observability registry:
+	// rebuild events, arena retention and hit rates, combining epoch
+	// phases, and client-observed latency all record into it, and the
+	// combining frontends additionally retain epoch traces readable
+	// through Trace. One registry may be shared across any number of
+	// views. nil (the default) disables all recording at zero cost on
+	// the hot paths. See Metrics and ARCHITECTURE.md's Observability
+	// section for the metric catalog.
+	Metrics *Metrics
 }
 
 // ReuseMode selects a buffer-recycling policy for Options.ReuseBuffers.
@@ -155,6 +183,7 @@ func (o Options) coreConfig() core.Config {
 		RebuildFactor:      o.RebuildFactor,
 		IndexSizeFactor:    o.IndexSizeFactor,
 		DisableBufferReuse: o.ReuseBuffers == ReuseOff,
+		Metrics:            o.Metrics,
 	}
 	if o.RankTraversal {
 		cfg.Traverse = core.TraverseRank

@@ -2,8 +2,10 @@ package pbist
 
 import (
 	"iter"
+	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/combine"
 	"repro/internal/core"
@@ -104,6 +106,7 @@ type Sharded[K Key, V any] struct {
 	arena *core.SharedArena[K, V] // nil under PrivateArenas
 	cscr  *combine.Scratch[K, V]  // nil under PrivateArenas
 	short atomic.Int64            // point lookups answered by a filter
+	obs   *shard.Obs              // nil unless Options.Metrics was set
 }
 
 // NewSharded returns an empty sharded frontend. With no data and no
@@ -166,6 +169,7 @@ func newSharded[K Key, V any](opts ShardedOptions, p shard.Partitioner[K], keys 
 		cbs:  make([]*combine.Combiner[K, V], p.N()),
 		pool: pool,
 		opts: opts,
+		obs:  shard.NewObs(opts.Metrics),
 	}
 	reuseOff := opts.ReuseBuffers == ReuseOff
 	if !opts.PrivateArenas {
@@ -202,7 +206,11 @@ func newSharded[K Key, V any](opts ShardedOptions, p shard.Partitioner[K], keys 
 				s.filters[i].Add(shard.HashKey(k))
 			}
 		}
-		s.cbs[i] = combine.NewShared(combine.Engine[K, V](t), pool, copts, s.cscr)
+		// Each shard's combiner tags its epoch traces with the shard
+		// index, so a merged Trace attributes epochs to shards.
+		shOpts := copts
+		shOpts.ID = i
+		s.cbs[i] = combine.NewShared(combine.Engine[K, V](t), pool, shOpts, s.cscr)
 	}
 	return s
 }
@@ -227,9 +235,15 @@ func (s *Sharded[K, V]) filterMiss(sh int, key K) bool {
 		return false
 	}
 	if s.filters[sh].MayContain(shard.HashKey(key)) {
+		if s.obs != nil {
+			s.obs.FilterPass.Add(1)
+		}
 		return false
 	}
 	s.short.Add(1)
+	if s.obs != nil {
+		s.obs.FilterShort.Add(1)
+	}
 	return true
 }
 
@@ -322,7 +336,14 @@ func (s *Sharded[K, V]) GetBatch(keys []K) (vals []V, found []bool) {
 	if len(keys) == 0 {
 		return nil, nil
 	}
+	var t0 time.Time
+	if s.obs != nil {
+		t0 = time.Now()
+	}
 	parts, pos := shard.Split(s.part, keys)
+	if s.obs != nil {
+		s.obs.Scatter.RecordSince(t0)
+	}
 	vals = make([]V, len(keys))
 	found = make([]bool, len(keys))
 	var firstErr atomic.Pointer[error]
@@ -332,8 +353,15 @@ func (s *Sharded[K, V]) GetBatch(keys []K) (vals []V, found []bool) {
 			firstErr.Store(&err)
 			return
 		}
+		var t1 time.Time
+		if s.obs != nil {
+			t1 = time.Now()
+		}
 		shard.StitchOne(vals, vs, pos[sh])
 		shard.StitchOne(found, fs, pos[sh])
+		if s.obs != nil {
+			s.obs.Stitch.RecordSince(t1)
+		}
 	})
 	if e := firstErr.Load(); e != nil {
 		checkSharded(*e)
@@ -347,7 +375,14 @@ func (s *Sharded[K, V]) ContainsBatch(keys []K) []bool {
 	if len(keys) == 0 {
 		return nil
 	}
+	var t0 time.Time
+	if s.obs != nil {
+		t0 = time.Now()
+	}
 	parts, pos := shard.Split(s.part, keys)
+	if s.obs != nil {
+		s.obs.Scatter.RecordSince(t0)
+	}
 	found := make([]bool, len(keys))
 	var firstErr atomic.Pointer[error]
 	forEachShard(parts, func(sh int) {
@@ -356,7 +391,14 @@ func (s *Sharded[K, V]) ContainsBatch(keys []K) []bool {
 			firstErr.Store(&err)
 			return
 		}
+		var t1 time.Time
+		if s.obs != nil {
+			t1 = time.Now()
+		}
 		shard.StitchOne(found, fs, pos[sh])
+		if s.obs != nil {
+			s.obs.Stitch.RecordSince(t1)
+		}
 	})
 	if e := firstErr.Load(); e != nil {
 		checkSharded(*e)
@@ -376,7 +418,14 @@ func (s *Sharded[K, V]) PutBatch(keys []K, vals []V) int {
 	if len(keys) == 0 {
 		return 0
 	}
+	var t0 time.Time
+	if s.obs != nil {
+		t0 = time.Now()
+	}
 	parts, vparts, _ := shard.SplitPairs(s.part, keys, vals)
+	if s.obs != nil {
+		s.obs.Scatter.RecordSince(t0)
+	}
 	var inserted atomic.Int64
 	var firstErr atomic.Pointer[error]
 	forEachShard(parts, func(sh int) {
@@ -404,7 +453,14 @@ func (s *Sharded[K, V]) DeleteBatch(keys []K) int {
 	if len(keys) == 0 {
 		return 0
 	}
+	var t0 time.Time
+	if s.obs != nil {
+		t0 = time.Now()
+	}
 	parts, _ := shard.Split(s.part, keys)
+	if s.obs != nil {
+		s.obs.Scatter.RecordSince(t0)
+	}
 	var removed atomic.Int64
 	var firstErr atomic.Pointer[error]
 	forEachShard(parts, func(sh int) {
@@ -678,6 +734,28 @@ type ShardedStats struct {
 	// aggregated).
 	RetainedBuffers int
 	RetainedElems   int64
+}
+
+// Trace returns up to n recent epoch traces across all shards, newest
+// first by epoch start time (n <= 0 means all retained). Each trace's
+// Shard field names the combiner that ran it, so the merged view shows
+// the group's concurrent epochs interleaved. Per-shard rings are read
+// without any cross-shard fence — the merge is a gather of unsynchro-
+// nized snapshots, consistent per shard only, like Stats. Tracing is
+// enabled by Options.Metrics or TraceDepth; otherwise Trace returns
+// nil.
+func (s *Sharded[K, V]) Trace(n int) []EpochTrace {
+	var all []EpochTrace
+	for _, cb := range s.cbs {
+		all = append(all, cb.Trace(n)...)
+	}
+	slices.SortFunc(all, func(a, b EpochTrace) int {
+		return b.Start.Compare(a.Start)
+	})
+	if n > 0 && len(all) > n {
+		all = all[:n]
+	}
+	return all
 }
 
 // Stats returns a snapshot of the shard group's combining behavior.
