@@ -37,7 +37,7 @@ import (
 // -experiment all executes them. Unknown names are rejected against
 // this table before any setup work happens.
 var experimentOrder = []string{
-	"fig17", "map", "concurrent", "sharded", "latency", "setalgebra", "seqcmp", "traverse",
+	"fig17", "map", "concurrent", "readscale", "sharded", "latency", "setalgebra", "seqcmp", "traverse",
 	"rebuildc", "treap", "leafcap", "indexfactor", "batchsize",
 }
 
@@ -107,6 +107,8 @@ func main() {
 			return runMap(w, workers, *reps)
 		case "concurrent":
 			return runConcurrent(w, clients, *reps)
+		case "readscale":
+			return runReadScale(w, clients, *reps)
 		case "sharded":
 			return runSharded(w, clients[len(clients)-1], shards, *batchKeys, *reps)
 		case "latency":
@@ -214,6 +216,23 @@ func runConcurrent(w bench.Workload, clients []int, reps int) ([]string, [][]str
 			fmt.Sprintf("%.1f", r.EpochKeys),
 			strconv.FormatInt(r.SizeFlushes, 10),
 			fmt.Sprintf("%.1f", r.MeanWaitUS),
+		})
+	}
+	return header, cells
+}
+
+func runReadScale(w bench.Workload, clients []int, reps int) ([]string, [][]string) {
+	rows := bench.RunReadScale(w, clients, reps)
+	header := []string{"clients", "combine_get_mops", "getfast_mops", "fast_x", "mixed_fast_mops", "mixed_epochs"}
+	cells := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		cells = append(cells, []string{
+			strconv.Itoa(r.Clients),
+			fmt.Sprintf("%.3f", r.CombineMops),
+			fmt.Sprintf("%.3f", r.FastMops),
+			fmt.Sprintf("%.2f", r.FastX),
+			fmt.Sprintf("%.3f", r.MixedMops),
+			strconv.FormatInt(r.Epochs, 10),
 		})
 	}
 	return header, cells

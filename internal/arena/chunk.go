@@ -9,10 +9,16 @@ package arena
 // sizing pass and no per-node allocations.
 //
 // A Chunk is write-once plumbing for a build: nodes keep slicing into
-// the backing arrays for their lifetime, so the chunk's memory is
-// released by the GC only when the last node built from it is
-// unreachable. It is not recycled through a Scratch — live trees own
-// it — but it collapses the 3·(nodes) allocations of a rebuild into 3.
+// the backing arrays for their lifetime, and it collapses the
+// 3·(nodes) allocations of a rebuild into 3. On a non-publishing tree
+// a chunk is never recycled through a Scratch — live nodes own it and
+// the GC frees it when the last node built from it is unreachable. A
+// publishing tree (core MVCC) does route rebuilt-over chunks back
+// into its Scratch free lists, but only through the grace ring: the
+// combiner retires the chunk, waits until the era counters prove no
+// pinned reader can still reach it, and only then Puts the three
+// arrays back (chunks a durable snapshot may reach are dropped to the
+// GC instead; see internal/core/mvcc.go).
 type Chunk[K any, V any] struct {
 	Keys   []K
 	Vals   []V

@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"time"
+
+	"repro/pbist"
+)
+
+// ReadScaleRow is one point of the read-scaling experiment: point-read
+// throughput (million ops per second) at a given client-goroutine
+// count for the two read paths of pbist.Concurrent, plus a mixed
+// column that keeps the combiner republishing while the fast path is
+// under load.
+type ReadScaleRow struct {
+	Clients     int
+	CombineMops float64 // c.Get: reads queued through the combiner
+	FastMops    float64 // c.GetFast: wait-free published-version reads
+	FastX       float64 // FastMops / CombineMops
+	MixedMops   float64 // 90% GetFast, 10% combiner writes (republish under load)
+	Epochs      int64   // combiner epochs during the mixed replay (≈ republish count)
+}
+
+// readOnlyScripts deals the same per-client scripts as the concurrent
+// experiment (same keys, same shuffle) but tags every op as a read,
+// so the two read paths replay byte-identical traffic.
+func readOnlyScripts(w Workload, rep, clients int) [][]scriptOp {
+	scripts := concurrentScripts(w, rep, clients)
+	for _, sc := range scripts {
+		for i := range sc {
+			sc[i].kind = scGet
+		}
+	}
+	return scripts
+}
+
+// RunReadScale measures point-read throughput versus client count for
+// the combiner read path (Get: enqueue, wait for the epoch fence) and
+// the wait-free read path (GetFast: interpolate against the latest
+// published version, no coordination). Both replay identical
+// read-only scripts against the same bulk-loaded structure. A third
+// replay runs the standard 90/10 mixed scripts with reads routed
+// through GetFast and writes through the combiner, so the fast path
+// is measured while versions are being republished and chunks
+// retired/recycled underneath it.
+//
+// On a single core the fast path should hold (not degrade) as clients
+// grow — there is no queue to collapse on — while its advantage over
+// the combiner path widens with core count (each GetFast is an
+// independent cache-local probe; see README, "Wait-free reads and
+// snapshots").
+func RunReadScale(w Workload, clients []int, reps int) []ReadScaleRow {
+	w = w.WithDefaults()
+	if reps < 1 {
+		reps = 1
+	}
+	base := w.BaseKeys()
+	baseVals := MapPayloads(base)
+	opts := pbist.Options{AssumeSorted: true}
+
+	rows := make([]ReadScaleRow, 0, len(clients))
+	for _, nc := range clients {
+		ro := make([][][]scriptOp, reps)
+		mixed := make([][][]scriptOp, reps)
+		for rep := 0; rep < reps; rep++ {
+			ro[rep] = readOnlyScripts(w, rep, nc)
+			mixed[rep] = concurrentScripts(w, rep, nc)
+		}
+
+		row := ReadScaleRow{Clients: nc}
+
+		// Both pure-read paths replay against one structure: the
+		// scripts never mutate, so the comparison sees identical data.
+		{
+			c := pbist.NewConcurrentFromItems(pbist.ConcurrentOptions{Options: opts}, base, baseVals)
+			var total time.Duration
+			for rep := 0; rep < reps; rep++ {
+				total += replay(ro[rep],
+					func(k int64) { c.Get(k) },
+					func(k int64, v uint64) { c.Put(k, v) },
+					func(k int64) { c.Delete(k) })
+			}
+			row.CombineMops = mops(ro[0], total/time.Duration(reps))
+
+			total = 0
+			for rep := 0; rep < reps; rep++ {
+				total += replay(ro[rep],
+					func(k int64) { c.GetFast(k) },
+					func(k int64, v uint64) { c.Put(k, v) },
+					func(k int64) { c.Delete(k) })
+			}
+			row.FastMops = mops(ro[0], total/time.Duration(reps))
+			c.Close()
+		}
+		if row.CombineMops > 0 {
+			row.FastX = row.FastMops / row.CombineMops
+		}
+
+		// Mixed: reads take the fast path while 10% of ops keep the
+		// combiner publishing fresh versions, exercising pin/era
+		// reclamation under read load. Fresh structure: the replay
+		// drifts its contents.
+		{
+			c := pbist.NewConcurrentFromItems(pbist.ConcurrentOptions{Options: opts}, base, baseVals)
+			var total time.Duration
+			for rep := 0; rep < reps; rep++ {
+				total += replay(mixed[rep],
+					func(k int64) { c.GetFast(k) },
+					func(k int64, v uint64) { c.Put(k, v) },
+					func(k int64) { c.Delete(k) })
+			}
+			row.MixedMops = mops(mixed[0], total/time.Duration(reps))
+			row.Epochs = c.Stats().Epochs
+			c.Close()
+		}
+
+		rows = append(rows, row)
+	}
+	return rows
+}

@@ -40,15 +40,31 @@ import (
 // *core.Tree the epoch executor needs. Batches passed to it are
 // always sorted and duplicate-free. The Combiner is the only caller,
 // so the Engine itself need not be safe for concurrent use.
+//
+// The read traversals are the *Into shape: destinations are
+// caller-provided, len(keys), zero-initialized (entries of absent keys
+// are left untouched), so the combiner can recycle the result arrays
+// of one epoch as the result arrays of the next instead of allocating
+// per epoch.
 type Engine[K cmp.Ordered, V any] interface {
-	ContainsBatched(keys []K) []bool
-	GetBatched(keys []K) (vals []V, found []bool)
+	ContainsBatchedInto(keys []K, found []bool)
+	GetBatchedInto(keys []K, vals []V, found []bool)
 	PutBatched(keys []K, vals []V) int
 	RemoveBatched(keys []K) int
 	Len() int
 	Keys() []K
 	Items() ([]K, []V)
 	RangeKV(lo, hi K) ([]K, []V)
+}
+
+// Publisher is the optional engine extension for multi-version reads
+// (core's MVCC layer): an engine that implements it has PublishVersion
+// called at the end of every epoch, after the epoch's writes and
+// before its clients are woken — so by the time any operation
+// completes, its effects are visible to version readers, which is what
+// keeps the wait-free fast path linearizable with combined operations.
+type Publisher interface {
+	PublishVersion()
 }
 
 // Scratch is the per-epoch scratch arena of one or more Combiners:
@@ -193,6 +209,7 @@ type op[K cmp.Ordered, V any] struct {
 // all exported methods are safe for concurrent use.
 type Combiner[K cmp.Ordered, V any] struct {
 	eng  Engine[K, V] //pbist:guardedby combiner
+	pub  Publisher    //pbist:guardedby combiner — eng's Publisher side, nil if not implemented
 	pool *parallel.Pool
 	opts Options
 
@@ -279,6 +296,9 @@ func NewShared[K cmp.Ordered, V any](eng Engine[K, V], pool *parallel.Pool, opts
 		scr = NewScratch[K, V](opts.NoBufferReuse)
 	}
 	scr.Observe(opts.Metrics, "combine.scratch")
+	// An engine that publishes versions gets PublishVersion called at
+	// the end of every epoch; detected once here, not per epoch.
+	pub, _ := eng.(Publisher)
 	c := &Combiner[K, V]{
 		eng:      eng,
 		pool:     pool,
@@ -286,6 +306,7 @@ func NewShared[K cmp.Ordered, V any](eng Engine[K, V], pool *parallel.Pool, opts
 		wake:     make(chan struct{}, 1),
 		loopDone: make(chan struct{}),
 		scr:      scr,
+		pub:      pub,
 		probe:    newProbe(opts.Metrics, opts.TraceDepth, opts.ID),
 	}
 	c.opPool.New = func() any {

@@ -52,23 +52,18 @@ func (e *gatedEngine) gate() {
 	<-e.release
 }
 
-func (e *gatedEngine) ContainsBatched(keys []int64) []bool {
+func (e *gatedEngine) ContainsBatchedInto(keys []int64, found []bool) {
 	e.gate()
-	out := make([]bool, len(keys))
 	for i, k := range keys {
-		_, out[i] = e.m[k]
+		_, found[i] = e.m[k]
 	}
-	return out
 }
 
-func (e *gatedEngine) GetBatched(keys []int64) ([]uint64, []bool) {
+func (e *gatedEngine) GetBatchedInto(keys []int64, vals []uint64, found []bool) {
 	e.gate()
-	vals := make([]uint64, len(keys))
-	found := make([]bool, len(keys))
 	for i, k := range keys {
 		vals[i], found[i] = e.m[k]
 	}
-	return vals, found
 }
 
 func (e *gatedEngine) PutBatched(keys []int64, vals []uint64) int {

@@ -85,14 +85,17 @@ func (c *Combiner[K, V]) runEpoch(ops []*op[K, V], keyCount int, sized bool) {
 
 	// One batched read traversal resolves the pre-epoch state of every
 	// key the epoch touches; values ride along only when a Get needs
-	// them.
+	// them. Both destinations are epoch scratch (the *Into engine
+	// contract wants them zeroed), returned below with the rest, so
+	// steady-state epochs run the read phase allocation-free.
 	var preVals []V
-	var preFound []bool
+	preFound := c.scr.bools.GetZero(nruns)
 	if nruns > 0 {
 		if needVals {
-			preVals, preFound = c.eng.GetBatched(readKeys)
+			preVals = c.scr.vals.GetZero(nruns)
+			c.eng.GetBatchedInto(readKeys, preVals, preFound)
 		} else {
-			preFound = c.eng.ContainsBatched(readKeys)
+			c.eng.ContainsBatchedInto(readKeys, preFound)
 		}
 	}
 	if pr != nil {
@@ -142,6 +145,14 @@ func (c *Combiner[K, V]) runEpoch(ops []*op[K, V], keyCount int, sized bool) {
 	if len(delK) > 0 {
 		c.eng.RemoveBatched(delK)
 	}
+	// Publish the post-epoch state for version readers before any
+	// client of this epoch wakes: an operation that has completed is
+	// then always visible to the wait-free fast path, which is what
+	// makes fast reads linearizable with combined operations. Read-only
+	// epochs publish nothing new but still advance reclamation.
+	if c.pub != nil {
+		c.pub.PublishVersion()
+	}
 	if pr != nil {
 		tWrite = time.Now()
 	}
@@ -168,6 +179,8 @@ func (c *Combiner[K, V]) runEpoch(ops []*op[K, V], keyCount int, sized bool) {
 	c.scr.ev.Put(evBuf)
 	c.scr.keys.Put(rkBuf)
 	c.scr.i32s.Put(rsBuf)
+	c.scr.bools.Put(preFound)
+	c.scr.vals.Put(preVals)
 	c.scr.bools.Put(putMark)
 	c.scr.bools.Put(delMark)
 	c.scr.vals.Put(winVal)

@@ -118,9 +118,26 @@ func (s *SharedArena[K, V]) Retained() (buffers int, elems int64) {
 }
 
 // newChunk allocates chunked node storage for a subtree of n keys and
-// counts it.
+// counts it. On a publishing tree (mvcc.go) the three backing arrays
+// are drawn from the arena's scratch free lists — the very lists
+// drainRetired feeds graced chunks back into — so steady-state epoch
+// rebuilds cycle node storage the same way they already cycle flatten
+// and merge buffers. The arrays are tree-retained until retirement;
+// that deliberate ownership transfer is the //pbist:owner below.
+// Non-publishing trees keep exact-size allocations: nothing ever
+// retires into their lists, and Get's class-rounded capacity would be
+// pure overhead on storage the GC manages anyway.
+//
+//pbist:owner
 func (t *Tree[K, V]) newChunk(n int) arena.Chunk[K, V] {
 	t.ar.chunkBuilds.Add(1)
 	t.ar.chunkKeys.Add(int64(n))
+	if t.mv != nil {
+		return arena.Chunk[K, V]{
+			Keys:   t.ar.keys.Get(n),
+			Vals:   t.ar.vals.Get(n),
+			Exists: t.ar.bools.Get(n),
+		}
+	}
 	return arena.NewChunk[K, V](n)
 }

@@ -115,6 +115,14 @@ type Tree[K iindex.Numeric, V any] struct {
 	pool *parallel.Pool
 	ar   *treeArena[K, V]
 	obs  *coreObs // nil unless cfg.Metrics was set
+
+	// Multi-version state (mvcc.go). mv is nil until EnablePublish;
+	// writeGen and dirty are confined to whatever single goroutine runs
+	// the batched operations (the combiner, in the published setup) and
+	// stay zero/false on never-published trees.
+	mv       *mvccState[K, V]
+	writeGen uint64
+	dirty    bool // mutations since the last publish
 }
 
 // node is one IST node (§3.1 plus the bookkeeping of §6–§7). Leaves
@@ -135,6 +143,15 @@ type node[K iindex.Numeric, V any] struct {
 	size     int // live keys in this subtree
 	initSize int // live keys when this subtree was (re)built
 	modCnt   int // successful updates applied since (re)build
+
+	// gen is the tree write generation this node was created in; a
+	// mutation in a later generation copies the node first (mvcc.go).
+	// Zero everywhere on never-published trees.
+	gen uint64
+	// chunk, set only on the root node of a chunked build, ties the
+	// subtree back to its contiguous storage so a rebuild of an
+	// enclosing subtree can retire it for reclamation (mvcc.go).
+	chunk *chunkHandle[K, V]
 }
 
 func (v *node[K, V]) isLeaf() bool { return v.children == nil }

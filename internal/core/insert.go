@@ -30,6 +30,7 @@ func (t *Tree[K, V]) InsertBatched(keys []K) int {
 	t.ar.bools.Put(present)
 	n := len(fresh)
 	if n > 0 {
+		t.dirty = true
 		zeroV := t.ar.vals.GetZero(n)
 		t.root = t.insertRec(t.root, fresh, zeroV, 0, n)
 		t.ar.vals.Put(zeroV)
@@ -59,13 +60,15 @@ func (t *Tree[K, V]) PutBatched(keys []K, vals []V) int {
 	hitKBuf := t.ar.keys.Get(len(keys))
 	hitK := parallel.FilterIndexInto(t.pool, keys, hitKBuf, func(i int) bool { return present[i] })
 	if len(hitK) > 0 {
+		t.dirty = true
 		hitVBuf := t.ar.vals.Get(len(vals))
 		hitV := parallel.FilterIndexInto(t.pool, vals, hitVBuf, func(i int) bool { return present[i] })
-		t.updateRec(t.root, hitK, hitV, 0, len(hitK))
+		t.root = t.updateRec(t.root, hitK, hitV, 0, len(hitK))
 		t.ar.vals.Put(hitVBuf)
 	}
 	inserted := len(keys) - len(hitK)
 	if inserted > 0 {
+		t.dirty = true
 		freshKBuf := t.ar.keys.Get(len(keys))
 		freshVBuf := t.ar.vals.Get(len(vals))
 		freshK := parallel.FilterIndexInto(t.pool, keys, freshKBuf, func(i int) bool { return !present[i] })
@@ -138,8 +141,11 @@ func (t *Tree[K, V]) insertRec(v *node[K, V], keys []K, vals []V, l, r int) *nod
 	k := r - l
 	if t.rebuildDue(v, k) {
 		// §7.1 step 2a: the recursion stops here for this subtree.
-		return t.rebuildMerged(v, keys, vals, l, r)
+		root := t.rebuildMerged(v, keys, vals, l, r)
+		t.retireSubtree(v)
+		return root
 	}
+	v = t.owned(v)
 	v.modCnt += k
 	v.size += k
 
@@ -180,23 +186,27 @@ func (t *Tree[K, V]) insertRec(v *node[K, V], keys []K, vals []V, l, r int) *nod
 }
 
 // updateRec overwrites the stored values of keys[l:r) — all logically
-// present — with vals[l:r). Value overwrites are not structural
-// modifications: Rep arrays, sizes, and the rebuild budget are
-// untouched, so the traversal is read-shaped (like containsRec) with
-// one write per key at the node whose Rep holds it. Each batch key is
-// live, so it is found exactly once along its root-to-leaf path, at a
-// live slot.
-func (t *Tree[K, V]) updateRec(v *node[K, V], keys []K, vals []V, l, r int) {
+// present — with vals[l:r) and returns the possibly copied subtree
+// root. Value overwrites are not structural modifications: Rep arrays,
+// sizes, and the rebuild budget are untouched, so the traversal is
+// read-shaped (like containsRec) with one write per key at the node
+// whose Rep holds it — but on a publishing tree even a value write
+// copies out-of-generation nodes, so the path to every written slot
+// is returned upward like the insertion path. Each batch key is live,
+// so it is found exactly once along its root-to-leaf path, at a live
+// slot.
+func (t *Tree[K, V]) updateRec(v *node[K, V], keys []K, vals []V, l, r int) *node[K, V] {
 	if v == nil {
-		return
+		return nil
 	}
 	seg := r - l
 	if seg <= seqSegCutoff || t.pool.Workers() == 1 {
 		sc := t.newScratch()
-		t.updateSeq(v, keys, vals, l, r, sc, 0)
+		root := t.updateSeq(v, keys, vals, l, r, sc, 0)
 		sc.release()
-		return
+		return root
 	}
+	v = t.owned(v)
 	pf := t.ar.i32s.Get(seg)
 	defer t.ar.i32s.Put(pf)
 	t.findPositions(v, keys, l, r, pf)
@@ -207,9 +217,10 @@ func (t *Tree[K, V]) updateRec(v *node[K, V], keys []K, vals []V, l, r int) {
 		}
 	})
 	if v.isLeaf() {
-		return
+		return v
 	}
 	t.forEachChildRun(pf, func(lo, hi int, child int) {
-		t.updateRec(v.children[child], keys, vals, l+lo, l+hi)
+		v.children[child] = t.updateRec(v.children[child], keys, vals, l+lo, l+hi)
 	})
+	return v
 }

@@ -1,0 +1,483 @@
+package core
+
+import (
+	"math/rand/v2"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/arena"
+	"repro/internal/iindex"
+	"repro/internal/obs"
+)
+
+// This file implements the tree's multi-version layer: copy-on-rebuild
+// publication of immutable roots, wait-free point reads against the
+// published version, O(changed) durable snapshots that share chunk
+// storage with the live tree, and epoch-based reclamation of retired
+// chunks.
+//
+// The design follows the non-blocking C-IST line (Prokopec, Brown,
+// Alistarh; see PAPERS.md): reads interpolate against a published
+// immutable version while the combiner keeps batching writes into the
+// live tree. Three pieces make that sound here:
+//
+//   - Generations. The tree carries a write generation (writeGen,
+//     combiner-confined) and every node records the generation it was
+//     created in. A mutation first calls owned(): a node from an older
+//     generation is copied (path copying), so nodes reachable from a
+//     published Version are never written again. Publishing bumps
+//     writeGen, freezing everything published. Trees that never call
+//     EnablePublish keep writeGen at zero forever, every node matches,
+//     and owned() is an equality test — the direct Map/Tree views pay
+//     nothing for this layer.
+//
+//   - Publication. PublishVersion (combiner-confined) wraps the
+//     current root in an immutable Version and stores it in an
+//     atomic.Pointer. Readers load the pointer and walk — no locks, no
+//     queues, no retries: wait-free.
+//
+//   - Reclamation. A rebuild disconnects the replaced subtree, whose
+//     chunk-backed arrays may still be visible to a reader that loaded
+//     an older Version moments ago. Retired chunks therefore enter a
+//     bounded grace ring stamped with the current reclamation era;
+//     readers pin a striped counter band keyed by era parity around
+//     each walk. The era only advances (at publish time) when the band
+//     about to be reused has drained, and a chunk recycles into the
+//     tree arena's scratch free lists — composing with the scratch
+//     recycling the write paths already do — only once the era has
+//     advanced twice past its stamp, i.e. after every reader that
+//     could possibly have seen it has unpinned. Chunks that might be
+//     referenced by a durable snapshot (born at or before the latest
+//     Snapshot cut) and ring overflow are dropped to the GC instead:
+//     reclamation degrades, never breaks.
+const (
+	// retireRingCap bounds the grace ring: retired chunks beyond this
+	// many pending entries are dropped to the GC instead of recycled,
+	// so a rebuild storm cannot accumulate unbounded reclamation debt.
+	retireRingCap = 256
+	// readerStripes spreads reader pins over independent cache lines
+	// per era band, so concurrent fast reads do not contend on one
+	// counter word.
+	readerStripes = 8
+)
+
+// Version is one published immutable tree state. Pointer identity is
+// version identity: two loads returning the same *Version observed the
+// same state. A Version is safe for concurrent walks by any number of
+// goroutines; nothing reachable from it is ever mutated.
+type Version[K iindex.Numeric, V any] struct {
+	root *node[K, V]
+	size int
+	gen  uint64 // writeGen the version was built under
+	seq  uint64 // publish sequence number (1, 2, ...)
+	at   int64  // publish wall time, unix nanoseconds
+}
+
+// Len reports the number of live keys in the version. Nil-safe: a tree
+// that never published reads as empty.
+func (v *Version[K, V]) Len() int {
+	if v == nil {
+		return 0
+	}
+	return v.size
+}
+
+// Seq returns the publish sequence number (0 for nil).
+func (v *Version[K, V]) Seq() uint64 {
+	if v == nil {
+		return 0
+	}
+	return v.seq
+}
+
+// stripe is one padded reader counter.
+type stripe struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// band is one era-parity set of reader counters.
+type band struct {
+	cells [readerStripes]stripe
+}
+
+func (b *band) sum() int64 {
+	var s int64
+	for i := range b.cells {
+		s += b.cells[i].n.Load()
+	}
+	return s
+}
+
+// retiredChunk is one grace-ring entry: chunk storage disconnected
+// from the live tree, waiting out its grace period.
+type retiredChunk[K iindex.Numeric, V any] struct {
+	ch    arena.Chunk[K, V]
+	born  uint64 // writeGen the chunk was built under
+	stamp uint64 // era at retirement
+}
+
+// chunkHandle ties the root node of a chunked build back to its chunk
+// so a later rebuild of an enclosing subtree can retire the storage.
+// COW copies share the handle with their original; that is safe
+// because at most one of them is reachable from the live tree, and
+// only the live tree retires.
+type chunkHandle[K iindex.Numeric, V any] struct {
+	ch   arena.Chunk[K, V]
+	born uint64
+}
+
+// mvccState is the publication and reclamation state of one publishing
+// tree. pub, era, bands, and snapCutoff are shared with reader
+// goroutines (atomics); seq and ring are combiner-confined like the
+// tree itself.
+type mvccState[K iindex.Numeric, V any] struct {
+	pub        atomic.Pointer[Version[K, V]]
+	era        atomic.Uint64
+	bands      [2]band
+	snapCutoff atomic.Uint64 // max Version.gen captured by a durable Snapshot
+
+	seq  uint64               // publish counter
+	ring []retiredChunk[K, V] // grace ring
+
+	published *obs.Counter // versions published
+	retired   *obs.Counter // chunks entering the grace ring
+	recycled  *obs.Counter // graced chunks recycled into the arena
+	dropped   *obs.Counter // graced chunks dropped to the GC
+}
+
+// EnablePublish switches the tree into publishing mode and publishes
+// the current contents as the first Version. Call it once, before the
+// tree is shared with a combiner; it is not safe to enable concurrently
+// with operations. From here on every batched mutation copies
+// out-of-generation nodes before writing (path copying), so published
+// versions stay immutable, and rebuild-retired chunk storage flows
+// through the grace ring back into the scratch arena.
+func (t *Tree[K, V]) EnablePublish() {
+	if t.mv != nil {
+		return
+	}
+	m := &mvccState[K, V]{}
+	if r := t.cfg.Metrics; r != nil {
+		m.published = r.Counter("core.mvcc.published")
+		m.retired = r.Counter("core.mvcc.chunks_retired")
+		m.recycled = r.Counter("core.mvcc.chunks_recycled")
+		m.dropped = r.Counter("core.mvcc.chunks_dropped")
+		r.Func("core.mvcc.snapshot_age_ns", func() int64 {
+			v := m.pub.Load()
+			if v == nil {
+				return 0
+			}
+			return time.Now().UnixNano() - v.at
+		})
+	}
+	t.mv = m
+	t.dirty = true
+	t.PublishVersion()
+}
+
+// PublishVersion publishes the current tree state as a new immutable
+// Version (when anything changed since the last publish) and runs one
+// round of reclamation bookkeeping: advance the era if the stale
+// reader band has drained, then recycle or drop graced chunks.
+// Combiner-confined, like every mutating method of the tree; no-op on
+// a non-publishing tree.
+func (t *Tree[K, V]) PublishVersion() {
+	m := t.mv
+	if m == nil {
+		return
+	}
+	if t.dirty {
+		m.seq++
+		m.pub.Store(&Version[K, V]{
+			root: t.root,
+			size: t.Len(),
+			gen:  t.writeGen,
+			seq:  m.seq,
+			at:   time.Now().UnixNano(),
+		})
+		t.writeGen++ // freeze everything just published
+		t.dirty = false
+		if m.published != nil {
+			m.published.Add(1)
+		}
+	}
+	// Era advance: the band of the parity we are about to hand to new
+	// readers must be empty, which proves every reader pinned two eras
+	// ago is gone. Only the combiner stores era, so load+store is fine.
+	e := m.era.Load()
+	if m.bands[(e+1)&1].sum() == 0 {
+		m.era.Store(e + 1)
+	}
+	t.drainRetired()
+}
+
+// pin registers the caller as an active reader of the current era and
+// returns the counter cell to release. Wait-free: one atomic load, one
+// atomic add. The era may advance at most once between the load and
+// the add; recycling needs two advances past a retirement, so a chunk
+// visible to any version this reader can load is never recycled while
+// the pin is held.
+func (m *mvccState[K, V]) pin() *atomic.Int64 {
+	e := m.era.Load()
+	c := &m.bands[e&1].cells[rand.Uint32()&(readerStripes-1)].n
+	c.Add(1)
+	return c
+}
+
+// ReaderPin is a held reader registration; Release it when the walk
+// over version-shared storage is done.
+type ReaderPin struct {
+	c *atomic.Int64
+}
+
+// Release ends the reader registration. Safe on the zero value.
+func (p ReaderPin) Release() {
+	if p.c != nil {
+		p.c.Add(-1)
+	}
+}
+
+// PinReader registers the calling goroutine as an active reader, so
+// chunk storage reachable from any Version loaded while the pin is
+// held stays valid. Wait-free; pair with Release.
+func (t *Tree[K, V]) PinReader() ReaderPin {
+	if t.mv == nil {
+		return ReaderPin{}
+	}
+	return ReaderPin{c: t.mv.pin()}
+}
+
+// CurrentVersion returns the most recently published Version (nil
+// before EnablePublish). To walk version-shared storage safely, hold a
+// ReaderPin across both the load and the walk; pointer-compare two
+// loads to detect an intervening publish.
+func (t *Tree[K, V]) CurrentVersion() *Version[K, V] {
+	if t.mv == nil {
+		return nil
+	}
+	return t.mv.pub.Load()
+}
+
+// SnapshotGet is the wait-free read fast path: it fetches key's value
+// from the latest published Version without touching the live tree.
+// Safe to call from any goroutine concurrently with batched mutations;
+// it observes every mutation published before the call and none after.
+func (t *Tree[K, V]) SnapshotGet(key K) (V, bool) {
+	m := t.mv
+	if m == nil {
+		panic("core: SnapshotGet before EnablePublish")
+	}
+	c := m.pin()
+	val, ok := lookupVersion(m.pub.Load(), key)
+	c.Add(-1)
+	return val, ok
+}
+
+// SnapshotContains is SnapshotGet without the value.
+func (t *Tree[K, V]) SnapshotContains(key K) bool {
+	_, ok := t.SnapshotGet(key)
+	return ok
+}
+
+// SnapshotLen reports the key count of the latest published Version.
+// No pin needed: Version headers are GC-managed, only chunk storage is
+// recycled.
+func (t *Tree[K, V]) SnapshotLen() int {
+	if t.mv == nil {
+		panic("core: SnapshotLen before EnablePublish")
+	}
+	return t.mv.pub.Load().Len()
+}
+
+// lookupVersion is a sequential root-to-leaf interpolation walk over an
+// immutable version: the single-key form of the §4.2 traversal, with no
+// batch machinery and no scratch. A key found in a rep array resolves
+// there (live or logically removed — §6 guarantees a key occupies at
+// most one slot); an absent key descends the lower-bound child.
+//
+//pbist:noalloc
+func lookupVersion[K iindex.Numeric, V any](ver *Version[K, V], key K) (val V, ok bool) {
+	var zero V
+	if ver == nil {
+		return zero, false
+	}
+	v := ver.root
+	for v != nil {
+		var pos int
+		var found bool
+		if v.children == nil {
+			pos, found = iindex.InterpolationSearch(v.rep, key)
+		} else {
+			pos, found = iindex.Find(v.rep, &v.idx, key)
+		}
+		if found {
+			if v.exists[pos] {
+				return v.vals[pos], true
+			}
+			return zero, false
+		}
+		if v.children == nil {
+			return zero, false
+		}
+		v = v.children[pos]
+	}
+	return zero, false
+}
+
+// SnapshotNow returns a new Tree handle over the latest published
+// Version in O(1): the snapshot shares every unrebuilt chunk with the
+// live tree instead of flattening and rebuilding. The handle is a
+// fully independent single-goroutine tree — mutations copy shared
+// nodes on write (its generation starts past everything it shares),
+// and its own rebuilds drop replaced storage to the GC, never into the
+// live tree's reclamation ring.
+//
+// Durability: the cut generation is recorded (snapCutoff) under a
+// reader pin before the handle escapes, so chunk storage reachable
+// from the snapshot is permanently exempt from recycling — the live
+// tree drops it to the GC instead, which collects it when the snapshot
+// itself goes away.
+func (t *Tree[K, V]) SnapshotNow() *Tree[K, V] {
+	m := t.mv
+	if m == nil {
+		panic("core: SnapshotNow before EnablePublish")
+	}
+	c := m.pin()
+	v := m.pub.Load()
+	for {
+		cur := m.snapCutoff.Load()
+		if v.gen <= cur || m.snapCutoff.CompareAndSwap(cur, v.gen) {
+			break
+		}
+	}
+	c.Add(-1)
+	nt := &Tree[K, V]{
+		cfg:  t.cfg,
+		pool: t.pool,
+		ar:   t.ar, // scratch free lists are concurrency-safe (SharedArena contract)
+	}
+	nt.root = v.root
+	nt.writeGen = v.gen + 1 // strictly newer than anything shared
+	return nt
+}
+
+// VersionItems flattens a pinned Version into freshly allocated sorted
+// key/value arrays (§7.2). The caller must hold a ReaderPin taken
+// before the Version was loaded and keep it until VersionItems
+// returns; the sharded frontend uses this to merge one consistent cut
+// across all shards.
+func (t *Tree[K, V]) VersionItems(v *Version[K, V]) ([]K, []V) {
+	if v == nil || v.root == nil {
+		return nil, nil
+	}
+	outK := make([]K, v.size)
+	outV := make([]V, v.size)
+	t.fillFlat(v.root, outK, outV)
+	return outK, outV
+}
+
+// owned returns a node the current generation may write to: v itself
+// when it was created in this generation, otherwise a copy (path
+// copying). Inner copies share the rep array and its interpolation
+// index — both immutable between rebuilds — and copy the mutable
+// vals/exists/children arrays; leaf copies duplicate all three arrays
+// because leaf reps mutate on insertion. The chunk handle rides along
+// (see chunkHandle). On a tree that never published, writeGen and every
+// node generation are zero and this is one predictable branch.
+func (t *Tree[K, V]) owned(v *node[K, V]) *node[K, V] {
+	if v.gen == t.writeGen {
+		return v
+	}
+	cp := &node[K, V]{
+		idx:      v.idx,
+		size:     v.size,
+		initSize: v.initSize,
+		modCnt:   v.modCnt,
+		gen:      t.writeGen,
+		chunk:    v.chunk,
+	}
+	if v.children == nil {
+		cp.rep = append(make([]K, 0, len(v.rep)), v.rep...)
+		cp.vals = append(make([]V, 0, len(v.vals)), v.vals...)
+		cp.exists = append(make([]bool, 0, len(v.exists)), v.exists...)
+	} else {
+		cp.rep = v.rep
+		cp.vals = append(make([]V, 0, len(v.vals)), v.vals...)
+		cp.exists = append(make([]bool, 0, len(v.exists)), v.exists...)
+		cp.children = append(make([]*node[K, V], 0, len(v.children)), v.children...)
+	}
+	return cp
+}
+
+// retireSubtree walks a subtree just replaced by a rebuild and moves
+// every chunk handle it roots into the grace ring. Only meaningful on
+// a publishing tree: older versions (and pinned readers) may still
+// reach this storage, so it must wait out the grace period before the
+// arrays recycle. Non-publishing trees leave retirement to the GC.
+func (t *Tree[K, V]) retireSubtree(v *node[K, V]) {
+	if t.mv == nil || v == nil {
+		return
+	}
+	t.collectRetired(v, t.mv.era.Load())
+}
+
+func (t *Tree[K, V]) collectRetired(v *node[K, V], era uint64) {
+	if v.chunk != nil {
+		m := t.mv
+		if len(m.ring) >= retireRingCap {
+			// Ring full: drop to the GC rather than grow without bound.
+			if m.dropped != nil {
+				m.dropped.Add(1)
+			}
+		} else {
+			m.ring = append(m.ring, retiredChunk[K, V]{ch: v.chunk.ch, born: v.chunk.born, stamp: era})
+			if m.retired != nil {
+				m.retired.Add(1)
+			}
+		}
+	}
+	for _, c := range v.children {
+		if c != nil {
+			t.collectRetired(c, era)
+		}
+	}
+}
+
+// drainRetired recycles every graced ring entry: two era advances past
+// the retirement stamp prove no reader can still reach the chunk, and
+// a born generation later than the durable-snapshot cutoff proves no
+// Snapshot can either. Recycled arrays re-enter the tree arena's
+// scratch free lists — the same pools the flatten/merge buffers cycle
+// through — and chunks a snapshot may still reference are dropped to
+// the GC instead. Combiner-confined.
+func (t *Tree[K, V]) drainRetired() {
+	m := t.mv
+	if len(m.ring) == 0 {
+		return
+	}
+	era := m.era.Load()
+	cutoff := m.snapCutoff.Load()
+	w := 0
+	for _, rc := range m.ring {
+		if rc.stamp+2 > era {
+			m.ring[w] = rc
+			w++
+			continue
+		}
+		if rc.born > cutoff {
+			t.ar.keys.Put(rc.ch.Keys)
+			t.ar.vals.Put(rc.ch.Vals)
+			t.ar.bools.Put(rc.ch.Exists)
+			if m.recycled != nil {
+				m.recycled.Add(1)
+			}
+		} else if m.dropped != nil {
+			m.dropped.Add(1)
+		}
+	}
+	for i := w; i < len(m.ring); i++ {
+		m.ring[i] = retiredChunk[K, V]{}
+	}
+	m.ring = m.ring[:w]
+}

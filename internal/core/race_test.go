@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector instruments this build;
+// the exact-zero allocation ceilings skip under instrumentation, which
+// adds bookkeeping allocations of its own.
+const raceEnabled = true

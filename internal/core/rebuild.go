@@ -117,7 +117,12 @@ func (t *Tree[K, V]) buildIdeal(keys []K, vals []V) *node[K, V] {
 	if m == 0 {
 		return nil
 	}
-	return t.buildInto(t.newChunk(m), 0, keys, vals)
+	ch := t.newChunk(m)
+	root := t.buildInto(ch, 0, keys, vals)
+	// The build root carries the chunk handle so a rebuild of an
+	// enclosing subtree can retire the storage (mvcc.go).
+	root.chunk = &chunkHandle[K, V]{ch: ch, born: t.writeGen}
+	return root
 }
 
 // idealFanout returns k, the rep-slot count of an ideal inner node
@@ -186,6 +191,7 @@ func (t *Tree[K, V]) buildInto(ch arena.Chunk[K, V], base int, keys []K, vals []
 		children: make([]*node[K, V], k+1),
 		size:     m,
 		initSize: m,
+		gen:      t.writeGen,
 	}
 	parallel.For(t.pool, k+1, 1, func(i int) {
 		lo, hi := idealChild(m, k, i)
@@ -214,7 +220,7 @@ func (t *Tree[K, V]) fillLeaf(v *node[K, V], ch arena.Chunk[K, V], base int, key
 	for i := range ex {
 		ex[i] = true
 	}
-	*v = node[K, V]{rep: rep, vals: vv, exists: ex, size: m, initSize: m}
+	*v = node[K, V]{rep: rep, vals: vv, exists: ex, size: m, initSize: m, gen: t.writeGen}
 }
 
 // buildSlab doles out node headers and children arrays for one
@@ -285,6 +291,7 @@ func (t *Tree[K, V]) buildSeqInto(ch arena.Chunk[K, V], slab *buildSlab[K, V], b
 		children: slab.children(k + 1),
 		size:     m,
 		initSize: m,
+		gen:      t.writeGen,
 	}
 	for i := 0; i <= k; i++ {
 		lo, hi := idealChild(m, k, i)

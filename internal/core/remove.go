@@ -24,6 +24,7 @@ func (t *Tree[K, V]) RemoveBatched(keys []K) int {
 	t.ar.bools.Put(present)
 	n := len(doomed)
 	if n > 0 {
+		t.dirty = true
 		t.root = t.removeRec(t.root, doomed, 0, n)
 	}
 	t.ar.keys.Put(doomedBuf)
@@ -42,8 +43,11 @@ func (t *Tree[K, V]) removeRec(v *node[K, V], keys []K, l, r int) *node[K, V] {
 	k := r - l
 	if t.rebuildDue(v, k) {
 		// §7.1 step 2b: the recursion stops here for this subtree.
-		return t.rebuildSubtracted(v, keys, l, r)
+		root := t.rebuildSubtracted(v, keys, l, r)
+		t.retireSubtree(v)
+		return root
 	}
+	v = t.owned(v)
 	v.modCnt += k
 	v.size -= k
 

@@ -168,8 +168,11 @@ func (t *Tree[K, V]) insertSeq(v *node[K, V], keys []K, vals []V, l, r int, sc *
 	}
 	k := r - l
 	if t.rebuildDue(v, k) {
-		return t.rebuildMerged(v, keys, vals, l, r)
+		root := t.rebuildMerged(v, keys, vals, l, r)
+		t.retireSubtree(v)
+		return root
 	}
+	v = t.owned(v)
 	v.modCnt += k
 	v.size += k
 	seg := r - l
@@ -204,11 +207,14 @@ func (t *Tree[K, V]) insertSeq(v *node[K, V], keys []K, vals []V, l, r int, sc *
 }
 
 // updateSeq is updateRec on the sequential path: overwrite the value
-// of every (live) key at the node whose Rep holds it.
-func (t *Tree[K, V]) updateSeq(v *node[K, V], keys []K, vals []V, l, r int, sc *scratch, depth int) {
+// of every (live) key at the node whose Rep holds it, copying
+// out-of-generation nodes first and returning the possibly copied
+// subtree root.
+func (t *Tree[K, V]) updateSeq(v *node[K, V], keys []K, vals []V, l, r int, sc *scratch, depth int) *node[K, V] {
 	if v == nil {
-		return
+		return nil
 	}
+	v = t.owned(v)
 	seg := r - l
 	pf := sc.buf(depth, seg)
 	t.findPositionsSeq(v, keys, l, r, pf)
@@ -218,7 +224,7 @@ func (t *Tree[K, V]) updateSeq(v *node[K, V], keys []K, vals []V, l, r int, sc *
 		}
 	}
 	if v.isLeaf() {
-		return
+		return v
 	}
 	for i := 0; i < seg; {
 		j := i + 1
@@ -226,18 +232,23 @@ func (t *Tree[K, V]) updateSeq(v *node[K, V], keys []K, vals []V, l, r int, sc *
 			j++
 		}
 		if pf[i]&1 == 0 {
-			t.updateSeq(v.children[pf[i]>>1], keys, vals, l+i, l+j, sc, depth+1)
+			c := pf[i] >> 1
+			v.children[c] = t.updateSeq(v.children[c], keys, vals, l+i, l+j, sc, depth+1)
 		}
 		i = j
 	}
+	return v
 }
 
 // removeSeq is removeRec on the sequential path.
 func (t *Tree[K, V]) removeSeq(v *node[K, V], keys []K, l, r int, sc *scratch, depth int) *node[K, V] {
 	k := r - l
 	if t.rebuildDue(v, k) {
-		return t.rebuildSubtracted(v, keys, l, r)
+		root := t.rebuildSubtracted(v, keys, l, r)
+		t.retireSubtree(v)
+		return root
 	}
+	v = t.owned(v)
 	v.modCnt += k
 	v.size -= k
 	seg := r - l

@@ -18,6 +18,11 @@ type Obs struct {
 	// positives and Bloom false positives.
 	FilterShort *obs.Counter
 	FilterPass  *obs.Counter
+	// CutRetries counts re-collections of the cross-shard atomic cut:
+	// a whole-structure read observed some shard publish a new version
+	// mid-collect and had to re-validate. Persistently high values mean
+	// whole-structure reads are racing a sustained write storm.
+	CutRetries *obs.Counter
 }
 
 // NewObs resolves the shard metric handles under the "shard." prefix;
@@ -31,5 +36,6 @@ func NewObs(r *obs.Registry) *Obs {
 		Stitch:      r.Histogram("shard.stitch_ns"),
 		FilterShort: r.Counter("shard.filter.short_circuits"),
 		FilterPass:  r.Counter("shard.filter.passes"),
+		CutRetries:  r.Counter("shard.cut.retries"),
 	}
 }

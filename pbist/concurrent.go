@@ -63,11 +63,24 @@ func (o ConcurrentOptions) combineOptions() combine.Options {
 // DeleteBatch, ContainsBatch) are atomic. Len, Items, and Stats
 // linearize at the boundary of the epoch that serves them.
 //
+// Alongside the combined operations, GetFast, ContainsFast, and
+// Snapshot serve wait-free reads against the immutable version the
+// combiner publishes after every epoch: no queue, no blocking, and
+// still linearizable with the combined writes (a completed operation
+// is always visible, because publication precedes client wakeup).
+//
 // Create one with NewConcurrent or NewConcurrentFromItems; call Close
 // when done to stop the combiner goroutine. Operations on a closed
-// Concurrent panic.
+// Concurrent panic, except the version readers (GetFast, ContainsFast,
+// Snapshot), which keep serving the final published state.
 type Concurrent[K Key, V any] struct {
 	cb *combine.Combiner[K, V]
+	// eng is the engine tree itself, retained for the wait-free read
+	// surface: the combiner publishes an immutable version of eng at
+	// the end of every epoch (before waking that epoch's clients), and
+	// GetFast, ContainsFast, and Snapshot read those versions without
+	// submitting to the combining queue.
+	eng *core.Tree[K, V]
 	// opts and pool are remembered so snapshot-derived Maps
 	// (SnapshotMap, UnionSnapshot) inherit the frontend's engine
 	// configuration and worker pool.
@@ -80,8 +93,10 @@ type Concurrent[K Key, V any] struct {
 func NewConcurrent[K Key, V any](opts ConcurrentOptions) *Concurrent[K, V] {
 	p := opts.pool()
 	t := core.New[K, V](opts.coreConfig(), p)
+	t.EnablePublish()
 	return &Concurrent[K, V]{
 		cb:   combine.New(combine.Engine[K, V](t), p, opts.combineOptions()),
+		eng:  t,
 		opts: opts,
 		pool: p,
 	}
@@ -100,8 +115,10 @@ func NewConcurrentFromItems[K Key, V any](opts ConcurrentOptions, keys []K, vals
 	m.assumeSorted = opts.AssumeSorted
 	nk, nv := m.normalizePairs(keys, vals)
 	t := core.NewFromSortedKV(opts.coreConfig(), p, nk, nv)
+	t.EnablePublish()
 	return &Concurrent[K, V]{
 		cb:   combine.New(combine.Engine[K, V](t), p, opts.combineOptions()),
+		eng:  t,
 		opts: opts,
 		pool: p,
 	}
@@ -126,6 +143,50 @@ func (c *Concurrent[K, V]) Contains(key K) bool {
 	ok, err := c.cb.Contains(key)
 	check(err)
 	return ok
+}
+
+// GetFast returns the value stored under key by reading the latest
+// version the combiner published, without submitting to the combining
+// queue: wait-free (one atomic load, one interpolation walk, no
+// blocking on any writer) and allocation-free.
+//
+// GetFast is linearizable with the combined operations: a version is
+// published after an epoch's writes and before its clients wake, so
+// GetFast observes every operation that completed before it was called.
+// What it gives up against Get is only the queue's view of in-flight
+// work — operations still waiting in the combining queue are invisible
+// until their epoch publishes, which is a valid linearization either
+// way. Unlike Get, GetFast never panics on a closed Concurrent: the
+// final version remains readable after Close.
+func (c *Concurrent[K, V]) GetFast(key K) (val V, ok bool) {
+	return c.eng.SnapshotGet(key)
+}
+
+// ContainsFast reports whether key is present in the latest published
+// version; the membership-only form of GetFast, with the same wait-free
+// and linearizability properties.
+func (c *Concurrent[K, V]) ContainsFast(key K) bool {
+	return c.eng.SnapshotContains(key)
+}
+
+// Snapshot returns an independent point-in-time Map over the latest
+// published version in O(changed) time and space: the snapshot shares
+// every chunk of tree storage with the live structure instead of
+// flattening and rebuilding (compare SnapshotMap, which materializes).
+// Later mutations of the frontend copy shared nodes before writing, so
+// the snapshot is immutable-by-sharing; mutating the snapshot Map
+// copies in the other direction and never disturbs the frontend.
+//
+// The snapshot linearizes at its version's publish point: it contains
+// every operation that completed before the call and no operation
+// submitted after it. Like GetFast it takes no fence and works on a
+// closed Concurrent.
+func (c *Concurrent[K, V]) Snapshot() *Map[K, V] {
+	m := &Map[K, V]{}
+	m.pool = c.pool
+	m.assumeSorted = c.opts.AssumeSorted
+	m.t = c.eng.SnapshotNow()
+	return m
 }
 
 // Put stores val under key, inserting or overwriting; it reports

@@ -77,6 +77,35 @@
 // linearizable, but Stats and Trace gather per-shard snapshots with no
 // cross-shard fence — each shard's counters are read while the other
 // shards keep executing, so the result is consistent per shard only.
+// (Whole-structure data reads are stronger: Items, Keys, Len,
+// SnapshotMap, and Snapshot each take one atomic cut of all shards'
+// published versions, so they are mutually atomic.)
+//
+// # Wait-free reads and snapshots (MVCC)
+//
+// The combining frontends additionally publish an immutable version
+// of the tree after every mutating epoch — one atomic pointer store,
+// sequenced before the epoch's callers are woken. GetFast,
+// ContainsFast, and Snapshot read that version without entering the
+// combining queue: they are wait-free (bounded steps, no locks, no
+// retries against writers) and linearizable against completed
+// operations — once a Put has returned, every later fast read
+// observes it; an operation still in flight may not be visible until
+// its epoch publishes. Snapshot is O(changed), not a clone: the
+// frozen Map shares unrebuilt chunk storage with the live tree, and
+// the engine's copy-on-rebuild generations guarantee the live tree
+// never mutates storage a published version can still reach.
+//
+// Reclamation contract: storage retired by a rebuild enters a grace
+// ring and is recycled only after every reader pinned in the
+// retiring era has left (two-band era counters) — a fast read or
+// snapshot iteration never observes recycled memory, with no
+// stop-the-world and no per-read allocation. Durable snapshots
+// extend the grace transitively: chunks a live Snapshot can reach
+// are handed to the garbage collector rather than recycled. Version
+// readers survive Close — a snapshot taken before a frontend drains
+// stays valid after — while queue-path operations on a closed
+// frontend panic.
 //
 // # Observability
 //

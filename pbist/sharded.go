@@ -88,17 +88,31 @@ func (o ShardedOptions) withDefaults() ShardedOptions {
 // are linearizable, and single-shard batches are atomic. A batch that
 // spans shards is atomic per shard but not across shards: another
 // client can observe one shard's half of the batch before the other
-// shard's half lands. Len, Keys, Items, Range, and SnapshotMap fence
-// every shard (each fence linearizable on its shard) but the fences
-// are not mutually atomic. Workloads that need cross-key atomicity
-// should use Concurrent; see the decision table in the README.
+// shard's half lands (the same caveat applies to Range). Len, Keys,
+// Items, Snapshot, and SnapshotMap are mutually atomic whole-structure
+// reads: each one captures the published versions of all N shard trees
+// at a single instant (see collectCut), so two of them taken
+// back-to-back can never disagree about which writes they reflect.
+// Workloads that need cross-key atomicity for writes should still use
+// Concurrent; see the decision table in the README.
+//
+// GetFast and ContainsFast serve wait-free point reads from the owning
+// shard's published version, linearizable with the shard's combined
+// operations exactly as on Concurrent.
 //
 // Create one with NewSharded, NewShardedRange, or
 // NewShardedFromItems; call Close when done. Operations on a closed
-// Sharded panic.
+// Sharded panic, except the version readers (GetFast, ContainsFast,
+// Len, Keys, Items, Snapshot, SnapshotMap), which keep serving the
+// final published state.
 type Sharded[K Key, V any] struct {
-	part    shard.Partitioner[K]
-	cbs     []*combine.Combiner[K, V]
+	part shard.Partitioner[K]
+	cbs  []*combine.Combiner[K, V]
+	// trees[i] is the engine behind cbs[i], retained for the version
+	// read paths: per-shard wait-free point reads (GetFast) and the
+	// cross-shard atomic cut (collectCut) both read the versions the
+	// shard's combiner publishes, never the combining queue.
+	trees   []*core.Tree[K, V]
 	filters []*shard.Bloom // per shard; nil when PointFilter is off
 	pool    *parallel.Pool
 	opts    ShardedOptions
@@ -165,11 +179,12 @@ func NewShardedFromItems[K Key, V any](opts ShardedOptions, keys []K, vals []V) 
 func newSharded[K Key, V any](opts ShardedOptions, p shard.Partitioner[K], keys []K, vals []V) *Sharded[K, V] {
 	pool := opts.pool()
 	s := &Sharded[K, V]{
-		part: p,
-		cbs:  make([]*combine.Combiner[K, V], p.N()),
-		pool: pool,
-		opts: opts,
-		obs:  shard.NewObs(opts.Metrics),
+		part:  p,
+		cbs:   make([]*combine.Combiner[K, V], p.N()),
+		trees: make([]*core.Tree[K, V], p.N()),
+		pool:  pool,
+		opts:  opts,
+		obs:   shard.NewObs(opts.Metrics),
 	}
 	reuseOff := opts.ReuseBuffers == ReuseOff
 	if !opts.PrivateArenas {
@@ -206,6 +221,11 @@ func newSharded[K Key, V any](opts ShardedOptions, p shard.Partitioner[K], keys 
 				s.filters[i].Add(shard.HashKey(k))
 			}
 		}
+		// Publishing must be on before the combiner exists: from the
+		// first epoch, every epoch ends with a version publish the read
+		// paths below depend on.
+		t.EnablePublish()
+		s.trees[i] = t
 		// Each shard's combiner tags its epoch traces with the shard
 		// index, so a merged Trace attributes epochs to shards.
 		shOpts := copts
@@ -219,6 +239,27 @@ func newSharded[K Key, V any](opts ShardedOptions, p shard.Partitioner[K], keys 
 func checkSharded(err error) {
 	if err != nil {
 		panic("pbist: operation on closed Sharded")
+	}
+}
+
+// firstError retains the first error reported by a group of concurrent
+// shard goroutines. set installs with CompareAndSwap, so the winner is
+// the first reporter — a plain Store would let every later failure
+// overwrite the earlier one, turning "first error" into "last error"
+// when several shards fail in the same scatter.
+type firstError struct {
+	p atomic.Pointer[error]
+}
+
+func (f *firstError) set(err error) {
+	f.p.CompareAndSwap(nil, &err)
+}
+
+// check panics via checkSharded when any goroutine reported an error.
+// Call it only after the group has been joined.
+func (f *firstError) check() {
+	if e := f.p.Load(); e != nil {
+		checkSharded(*e)
 	}
 }
 
@@ -267,6 +308,30 @@ func (s *Sharded[K, V]) Contains(key K) bool {
 	ok, err := s.cbs[sh].Contains(key)
 	checkSharded(err)
 	return ok
+}
+
+// GetFast returns the value stored under key by reading the owning
+// shard's latest published version — the wait-free fast path of
+// Concurrent.GetFast routed through the partitioner (and through the
+// shard's Bloom filter when PointFilter is on). Linearizable with the
+// shard's combined operations: every completed write to key is
+// visible. Never panics on a closed Sharded.
+func (s *Sharded[K, V]) GetFast(key K) (val V, ok bool) {
+	sh := s.part.Shard(key)
+	if s.filterMiss(sh, key) {
+		return val, false
+	}
+	return s.trees[sh].SnapshotGet(key)
+}
+
+// ContainsFast reports whether key is present in the owning shard's
+// latest published version; the membership-only form of GetFast.
+func (s *Sharded[K, V]) ContainsFast(key K) bool {
+	sh := s.part.Shard(key)
+	if s.filterMiss(sh, key) {
+		return false
+	}
+	return s.trees[sh].SnapshotContains(key)
 }
 
 // Put stores val under key, inserting or overwriting; it reports
@@ -346,11 +411,11 @@ func (s *Sharded[K, V]) GetBatch(keys []K) (vals []V, found []bool) {
 	}
 	vals = make([]V, len(keys))
 	found = make([]bool, len(keys))
-	var firstErr atomic.Pointer[error]
+	var ferr firstError
 	forEachShard(parts, func(sh int) {
 		vs, fs, err := s.cbs[sh].GetBatch(parts[sh])
 		if err != nil {
-			firstErr.Store(&err)
+			ferr.set(err)
 			return
 		}
 		var t1 time.Time
@@ -363,9 +428,7 @@ func (s *Sharded[K, V]) GetBatch(keys []K) (vals []V, found []bool) {
 			s.obs.Stitch.RecordSince(t1)
 		}
 	})
-	if e := firstErr.Load(); e != nil {
-		checkSharded(*e)
-	}
+	ferr.check()
 	return vals, found
 }
 
@@ -384,11 +447,11 @@ func (s *Sharded[K, V]) ContainsBatch(keys []K) []bool {
 		s.obs.Scatter.RecordSince(t0)
 	}
 	found := make([]bool, len(keys))
-	var firstErr atomic.Pointer[error]
+	var ferr firstError
 	forEachShard(parts, func(sh int) {
 		fs, err := s.cbs[sh].ContainsBatch(parts[sh])
 		if err != nil {
-			firstErr.Store(&err)
+			ferr.set(err)
 			return
 		}
 		var t1 time.Time
@@ -400,9 +463,7 @@ func (s *Sharded[K, V]) ContainsBatch(keys []K) []bool {
 			s.obs.Stitch.RecordSince(t1)
 		}
 	})
-	if e := firstErr.Load(); e != nil {
-		checkSharded(*e)
-	}
+	ferr.check()
 	return found
 }
 
@@ -427,7 +488,7 @@ func (s *Sharded[K, V]) PutBatch(keys []K, vals []V) int {
 		s.obs.Scatter.RecordSince(t0)
 	}
 	var inserted atomic.Int64
-	var firstErr atomic.Pointer[error]
+	var ferr firstError
 	forEachShard(parts, func(sh int) {
 		if s.filters != nil {
 			for _, k := range parts[sh] {
@@ -436,14 +497,12 @@ func (s *Sharded[K, V]) PutBatch(keys []K, vals []V) int {
 		}
 		n, err := s.cbs[sh].PutBatch(parts[sh], vparts[sh])
 		if err != nil {
-			firstErr.Store(&err)
+			ferr.set(err)
 			return
 		}
 		inserted.Add(int64(n))
 	})
-	if e := firstErr.Load(); e != nil {
-		checkSharded(*e)
-	}
+	ferr.check()
 	return int(inserted.Load())
 }
 
@@ -462,45 +521,64 @@ func (s *Sharded[K, V]) DeleteBatch(keys []K) int {
 		s.obs.Scatter.RecordSince(t0)
 	}
 	var removed atomic.Int64
-	var firstErr atomic.Pointer[error]
+	var ferr firstError
 	forEachShard(parts, func(sh int) {
 		n, err := s.cbs[sh].DeleteBatch(parts[sh])
 		if err != nil {
-			firstErr.Store(&err)
+			ferr.set(err)
 			return
 		}
 		removed.Add(int64(n))
 	})
-	if e := firstErr.Load(); e != nil {
-		checkSharded(*e)
-	}
+	ferr.check()
 	return int(removed.Load())
 }
 
-// gatherKV collects (keys, vals) from every shard concurrently and
-// returns the per-shard results in shard order.
-func (s *Sharded[K, V]) gatherKV(get func(cb *combine.Combiner[K, V]) ([]K, []V, error)) ([][]K, [][]V) {
-	ks := make([][]K, len(s.cbs))
-	vs := make([][]V, len(s.cbs))
-	var wg sync.WaitGroup
-	var firstErr atomic.Pointer[error]
-	for i, cb := range s.cbs {
-		wg.Add(1)
-		go func(i int, cb *combine.Combiner[K, V]) {
-			defer wg.Done()
-			k, v, err := get(cb)
-			if err != nil {
-				firstErr.Store(&err)
-				return
+// collectCut captures a mutually atomic cut across all shards: it pins
+// every shard tree as a reader, then loads each tree's published
+// version repeatedly until one full pass observes no change against
+// the previous pass. Shard combiners publish versions in sequence, so
+// a stable double-collect proves no shard published between the first
+// and last load of the final pass — the N version pointers coexisted
+// at one instant, which is exactly the cross-shard atomicity the old
+// per-shard fences could not give. The returned release must be called
+// once every walk over the versions' shared storage is done; until
+// then the pins keep retired chunk storage out of the recycler.
+//
+// The retry loop terminates quickly in practice: a pass takes
+// nanoseconds per shard while a publish happens at most once per
+// combining epoch, so consecutive conflicting passes require a
+// sustained write storm on N distinct combiners, and each retry is
+// counted (shard.cut.retries) so a pathological workload is visible.
+func (s *Sharded[K, V]) collectCut() (vers []*core.Version[K, V], release func()) {
+	pins := make([]core.ReaderPin, len(s.trees))
+	for i, t := range s.trees {
+		pins[i] = t.PinReader()
+	}
+	release = func() {
+		for _, p := range pins {
+			p.Release()
+		}
+	}
+	vers = make([]*core.Version[K, V], len(s.trees))
+	for i, t := range s.trees {
+		vers[i] = t.CurrentVersion()
+	}
+	for {
+		stable := true
+		for i, t := range s.trees {
+			if v := t.CurrentVersion(); v != vers[i] {
+				vers[i] = v
+				stable = false
 			}
-			ks[i], vs[i] = k, v
-		}(i, cb)
+		}
+		if stable {
+			return vers, release
+		}
+		if s.obs != nil {
+			s.obs.CutRetries.Add(1)
+		}
 	}
-	wg.Wait()
-	if e := firstErr.Load(); e != nil {
-		checkSharded(*e)
-	}
-	return ks, vs
 }
 
 // mergeShardKV combines per-shard sorted sequences into one globally
@@ -537,80 +615,73 @@ func (s *Sharded[K, V]) mergeShardKV(ks [][]K, vs [][]V) ([]K, []V) {
 	return outK, outV
 }
 
-// Len reports the number of keys stored: the sum of per-shard
-// lengths, each linearized on its shard (the fences are concurrent,
-// not mutually atomic).
+// Len reports the number of keys stored: the sum of the per-shard
+// version sizes over one atomic cut, so the count is consistent — it
+// never mixes one shard's state before a cross-shard batch with
+// another shard's state after it, as the old per-shard fences could.
+// Wait-free apart from cut retries; no combiner round trips.
 func (s *Sharded[K, V]) Len() int {
-	var n atomic.Int64
-	var wg sync.WaitGroup
-	var firstErr atomic.Pointer[error]
-	for _, cb := range s.cbs {
-		wg.Add(1)
-		go func(cb *combine.Combiner[K, V]) {
-			defer wg.Done()
-			l, err := cb.Len()
-			if err != nil {
-				firstErr.Store(&err)
-				return
-			}
-			n.Add(int64(l))
-		}(cb)
+	vers, release := s.collectCut()
+	release() // sizes live in the version headers, not chunk storage
+	n := 0
+	for _, v := range vers {
+		n += v.Len()
 	}
-	wg.Wait()
-	if e := firstErr.Load(); e != nil {
-		checkSharded(*e)
-	}
-	return int(n.Load())
+	return n
 }
 
 // Flush blocks until every operation submitted before it has executed
 // on every shard.
 func (s *Sharded[K, V]) Flush() {
 	var wg sync.WaitGroup
-	var firstErr atomic.Pointer[error]
+	var ferr firstError
 	for _, cb := range s.cbs {
 		wg.Add(1)
 		go func(cb *combine.Combiner[K, V]) {
 			defer wg.Done()
 			if err := cb.Flush(); err != nil {
-				firstErr.Store(&err)
+				ferr.set(err)
 			}
 		}(cb)
 	}
 	wg.Wait()
-	if e := firstErr.Load(); e != nil {
-		checkSharded(*e)
+	ferr.check()
+}
+
+// cutItems captures one atomic cut and flattens every shard's version
+// concurrently while the reader pins hold the shared chunk storage
+// stable. The per-shard arrays come back in shard order, sorted and
+// duplicate-free, ready for mergeShardKV.
+func (s *Sharded[K, V]) cutItems() ([][]K, [][]V) {
+	vers, release := s.collectCut()
+	defer release()
+	ks := make([][]K, len(s.trees))
+	vs := make([][]V, len(s.trees))
+	var wg sync.WaitGroup
+	for i := range s.trees {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ks[i], vs[i] = s.trees[i].VersionItems(vers[i])
+		}(i)
 	}
+	wg.Wait()
+	return ks, vs
 }
 
 // Items returns every (key, value) pair, keys ascending and values
-// position-aligned. Each shard's snapshot is atomic on that shard;
-// the shards are fenced concurrently, not mutually atomically.
+// position-aligned, as one mutually atomic cross-shard snapshot: all
+// shards are read at a single instant (collectCut), so an Items result
+// can never show half of a cross-shard batch. It reflects every
+// operation that completed before the call; operations still queued in
+// a combiner appear only once their epoch publishes.
 func (s *Sharded[K, V]) Items() ([]K, []V) {
-	ks, vs := s.gatherKV(func(cb *combine.Combiner[K, V]) ([]K, []V, error) {
-		return cb.Snapshot()
-	})
-	return s.mergeShardKV(ks, vs)
+	return s.mergeShardKV(s.cutItems())
 }
 
-// Keys returns the keys in ascending order (per-shard snapshots,
-// merged; values are never materialized under range partitioning).
+// Keys returns the keys in ascending order, from the same mutually
+// atomic cut as Items.
 func (s *Sharded[K, V]) Keys() []K {
-	if s.part.Ordered() {
-		ks, _ := s.gatherKV(func(cb *combine.Combiner[K, V]) ([]K, []V, error) {
-			k, err := cb.Keys()
-			return k, nil, err
-		})
-		total := 0
-		for _, k := range ks {
-			total += len(k)
-		}
-		out := make([]K, 0, total)
-		for _, k := range ks {
-			out = append(out, k...)
-		}
-		return out
-	}
 	ks, _ := s.Items()
 	return ks
 }
@@ -631,23 +702,21 @@ func (s *Sharded[K, V]) Range(lo, hi K) ([]K, []V) {
 	ks := make([][]K, last-first+1)
 	vs := make([][]V, last-first+1)
 	var wg sync.WaitGroup
-	var firstErr atomic.Pointer[error]
+	var ferr firstError
 	for i := first; i <= last; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			k, v, err := s.cbs[i].Range(lo, hi)
 			if err != nil {
-				firstErr.Store(&err)
+				ferr.set(err)
 				return
 			}
 			ks[i-first], vs[i-first] = k, v
 		}(i)
 	}
 	wg.Wait()
-	if e := firstErr.Load(); e != nil {
-		checkSharded(*e)
-	}
+	ferr.check()
 	return s.mergeShardKV(ks, vs)
 }
 
@@ -667,9 +736,10 @@ func (s *Sharded[K, V]) Ascend(lo, hi K) iter.Seq2[K, V] {
 
 // SnapshotMap materializes a snapshot of the frontend as an
 // independent Map sharing the frontend's engine configuration and
-// worker pool but none of its data. Each shard's contribution is
-// linearizable on that shard; the cross-shard combination is not one
-// atomic fence (use Concurrent.SnapshotMap when that matters).
+// worker pool but none of its data. The snapshot is one mutually
+// atomic cross-shard cut (the same instant-capture as Items), so it
+// contains either all or none of any batch's effects that had
+// completed before the call.
 func (s *Sharded[K, V]) SnapshotMap() *Map[K, V] {
 	ks, vs := s.Items()
 	m := &Map[K, V]{}
@@ -677,6 +747,16 @@ func (s *Sharded[K, V]) SnapshotMap() *Map[K, V] {
 	m.assumeSorted = s.opts.AssumeSorted
 	m.t = core.NewFromSortedKV(s.opts.coreConfig(), s.pool, ks, vs)
 	return m
+}
+
+// Snapshot is SnapshotMap under the name the Concurrent frontend uses,
+// so the two frontends expose the same snapshot surface. Unlike
+// Concurrent.Snapshot it cannot share chunk storage with the live
+// structure — the cut spans N independent trees whose contents must be
+// merged into one — so it materializes, at the same cost as Items plus
+// one bulk load.
+func (s *Sharded[K, V]) Snapshot() *Map[K, V] {
+	return s.SnapshotMap()
 }
 
 // Close stops every shard's combiner: it stops accepting operations,
