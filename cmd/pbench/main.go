@@ -11,6 +11,8 @@
 //	pbench -experiment map -workers 1,4,8
 //	pbench -experiment concurrent -clients 1,4,16,64
 //	pbench -latency -rate 200 -json
+//	pbench -experiment rebuildsched -rate 150 -rebuildbudget 4096 -json
+//	pbench -experiment leafslack -rounds 6
 //	pbench -experiment setalgebra -workers 8
 //	pbench -experiment seqcmp -reps 5
 //	pbench -experiment traverse
@@ -37,8 +39,8 @@ import (
 // -experiment all executes them. Unknown names are rejected against
 // this table before any setup work happens.
 var experimentOrder = []string{
-	"fig17", "map", "concurrent", "readscale", "sharded", "latency", "setalgebra", "seqcmp", "traverse",
-	"rebuildc", "treap", "leafcap", "indexfactor", "batchsize",
+	"fig17", "map", "concurrent", "readscale", "sharded", "latency", "rebuildsched", "setalgebra", "seqcmp", "traverse",
+	"rebuildc", "leafslack", "treap", "leafcap", "indexfactor", "batchsize",
 }
 
 func main() {
@@ -53,9 +55,10 @@ func main() {
 		shardsCSV  = flag.String("shards", "1,2,4,8,16", "shard counts for the sharded experiment (comma separated)")
 		batchKeys  = flag.Int("batchkeys", 64, "keys per client mini-batch in the sharded experiment")
 		latency    = flag.Bool("latency", false, "shorthand for -experiment latency: open-loop latency percentiles for the concurrent and sharded frontends")
-		rate       = flag.Float64("rate", 200, "offered load of the latency experiment in thousand ops/s across all clients (0 = closed loop / saturation)")
+		rate       = flag.Float64("rate", 200, "offered load of the latency and rebuildsched experiments in thousand ops/s across all clients (must be positive)")
 		reps       = flag.Int("reps", 3, "repetitions per measurement (paper: 10)")
-		rounds     = flag.Int("rounds", 4, "churn rounds for the rebuildc ablation")
+		rounds     = flag.Int("rounds", 4, "churn rounds for the rebuildc and leafslack ablations")
+		rbBudget   = flag.Int("rebuildbudget", 4096, "RebuildBudgetPerEpoch for the bounded and async rows of the rebuildsched experiment")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		jsonOut    = flag.Bool("json", false, "emit one machine-readable JSON array with every experiment's series")
 		distName   = flag.String("dist", "",
@@ -80,6 +83,21 @@ func main() {
 	} else if !slices.Contains(experimentOrder, *experiment) {
 		fatalUsage(fmt.Sprintf("unknown experiment %q (have %s, or all)",
 			*experiment, strings.Join(experimentOrder, ", ")))
+	}
+
+	// Flag validation up front, before any expensive setup. An
+	// open-loop experiment with a non-positive rate schedules every
+	// operation in the past and reports backlog, not latency; a
+	// distribution flag an experiment ignores would silently measure
+	// something other than what was asked.
+	if (slices.Contains(names, "latency") || slices.Contains(names, "rebuildsched")) && *rate <= 0 {
+		fatalUsage(fmt.Sprintf("the open-loop experiments (latency, rebuildsched) need a positive -rate in kops/s; got %g", *rate))
+	}
+	if *experiment == "latency" && *distName != "" {
+		fatalUsage("-experiment latency runs its own uniform+zipf distribution grid and does not take -dist")
+	}
+	if *clusters > 0 && *distName != "" && *distName != "clustered" {
+		fatalUsage(fmt.Sprintf("-clusters only applies to the clustered distribution, not -dist %s", *distName))
 	}
 
 	w := bench.Workload{N: *n, M: *m, Seed: *seed, Dist: *distName, Clusters: *clusters}.WithDefaults()
@@ -113,6 +131,8 @@ func main() {
 			return runSharded(w, clients[len(clients)-1], shards, *batchKeys, *reps)
 		case "latency":
 			return runLatency(w, clients[len(clients)-1], shards[len(shards)-1], *rate, *reps)
+		case "rebuildsched":
+			return runRebuildSched(w, clients[len(clients)-1], *rate, *reps, *rbBudget)
 		case "setalgebra":
 			return runSetAlgebra(w, workers[len(workers)-1], *reps)
 		case "seqcmp":
@@ -121,6 +141,8 @@ func main() {
 			return runTraverse(w, workers[len(workers)-1], *reps)
 		case "rebuildc":
 			return runRebuildC(w, workers[len(workers)-1], *rounds)
+		case "leafslack":
+			return runLeafSlack(w, workers[len(workers)-1], *rounds)
 		case "treap":
 			return runTreap(w, workers[len(workers)-1], *reps)
 		case "leafcap":
@@ -254,6 +276,44 @@ func runLatency(w bench.Workload, clients, shards int, rateKops float64, reps in
 			fmt.Sprintf("%.1f", r.P99US),
 			fmt.Sprintf("%.1f", r.P999US),
 			fmt.Sprintf("%.1f", r.MaxUS),
+		})
+	}
+	return header, cells
+}
+
+func runRebuildSched(w bench.Workload, clients int, rateKops float64, reps, budget int) ([]string, [][]string) {
+	rows := bench.RunRebuildSched(w, clients, rateKops, reps, budget)
+	header := []string{"mode", "dist", "budget", "clients", "offered_kops", "achieved_kops",
+		"mean_us", "p50_us", "p90_us", "p99_us", "p999_us", "max_us",
+		"max_epoch_rebuild_keys", "peak_rebuild_debt"}
+	cells := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Mode, r.Dist, strconv.Itoa(r.Budget), strconv.Itoa(r.Clients),
+			fmt.Sprintf("%.1f", r.OfferedKops),
+			fmt.Sprintf("%.1f", r.AchievedKops),
+			fmt.Sprintf("%.1f", r.MeanUS),
+			fmt.Sprintf("%.1f", r.P50US),
+			fmt.Sprintf("%.1f", r.P90US),
+			fmt.Sprintf("%.1f", r.P99US),
+			fmt.Sprintf("%.1f", r.P999US),
+			fmt.Sprintf("%.1f", r.MaxUS),
+			strconv.Itoa(r.MaxEpochRebuildKeys),
+			strconv.Itoa(r.PeakRebuildDebt),
+		})
+	}
+	return header, cells
+}
+
+func runLeafSlack(w bench.Workload, workers, rounds int) ([]string, [][]string) {
+	rows := bench.RunLeafSlack(w, workers, rounds, nil, nil)
+	header := []string{"slack", "C", "churn_ms", "leaf_grows", "chunk_builds", "dead_per_live", "final_height"}
+	cells := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		cells = append(cells, []string{
+			fmt.Sprintf("%.2f", r.Slack), strconv.Itoa(r.C), bench.MS(r.ChurnMS),
+			strconv.FormatInt(r.LeafGrows, 10), strconv.FormatInt(r.ChunkBuilds, 10),
+			fmt.Sprintf("%.2f", r.DeadRatio), strconv.Itoa(r.FinalHgt),
 		})
 	}
 	return header, cells

@@ -46,8 +46,16 @@ const readPermille = 900
 // concurrentScripts deals one workload batch (M keys from the
 // configured distribution) into per-client operation scripts: each
 // client gets a contiguous slice of the batch, shuffled with its own
-// deterministic RNG and tagged with the op mix.
+// deterministic RNG and tagged with the standard read-mostly op mix.
 func concurrentScripts(w Workload, rep, clients int) [][]scriptOp {
+	return scriptsWithMix(w, rep, clients, readPermille)
+}
+
+// scriptsWithMix is concurrentScripts with an explicit read share:
+// readPermille out of every 1000 ops are Gets, the remainder split
+// evenly between Puts and Deletes. The rebuild-scheduler experiment
+// uses a write-heavy mix to drive subtrees into their rebuild budget.
+func scriptsWithMix(w Workload, rep, clients, readPerm int) [][]scriptOp {
 	keys := w.Batch(rep)
 	per, rem := len(keys)/clients, len(keys)%clients
 	scripts := make([][]scriptOp, 0, clients)
@@ -65,7 +73,7 @@ func concurrentScripts(w Workload, rep, clients int) [][]scriptOp {
 		sc := make([]scriptOp, len(part))
 		for i, k := range part {
 			sc[i] = scriptOp{kind: scGet, key: k}
-			if p := r.Uint64n(1000); p >= readPermille {
+			if p := r.Uint64n(1000); p >= uint64(readPerm) {
 				if p&1 == 0 {
 					sc[i].kind = scPut
 				} else {

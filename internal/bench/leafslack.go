@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"repro/internal/core"
+	"repro/internal/parallel"
+)
+
+// LeafSlackRow is one point of the leaf-slack sweep: sustained
+// insert/remove churn under one (LeafSlack, RebuildFactor) pair. The
+// two knobs trade against each other — slack buys in-place leaf merges
+// (fewer reallocations) at the cost of dead array space, while C sets
+// how long a subtree may degrade before a rebuild compacts everything
+// anyway — so the interesting readout is churn time against the two
+// rates, not either knob alone.
+type LeafSlackRow struct {
+	Slack       float64
+	C           int
+	ChurnMS     float64
+	LeafGrows   int64   // leaf merges that had to reallocate
+	ChunkBuilds int64   // subtree (re)builds the churn triggered
+	DeadRatio   float64 // dead keys per live key after the churn
+	FinalHgt    int
+}
+
+// RunLeafSlack sweeps leaf merge headroom × rebuild constant: for every
+// (slack, C) pair a fresh tree is bulk-loaded with the workload's base
+// keys and churned with rounds alternating insert/remove batches, all
+// pairs seeing identical batches.
+func RunLeafSlack(w Workload, workers, rounds int, slacks []float64, cs []int) []LeafSlackRow {
+	w = w.WithDefaults()
+	if len(slacks) == 0 {
+		slacks = []float64{1.0, 1.25, 1.5, 2.0}
+	}
+	if len(cs) == 0 {
+		cs = []int{2, 4}
+	}
+	base := w.BaseKeys()
+	pool := parallel.NewPool(workers)
+
+	rows := make([]LeafSlackRow, 0, len(slacks)*len(cs))
+	for _, c := range cs {
+		for _, slack := range slacks {
+			tree := core.NewFromSorted(core.Config{RebuildFactor: c, LeafSlack: slack}, pool, base)
+			total := 0.0
+			for round := 0; round < rounds; round++ {
+				ins := w.Batch(2 * round)
+				rem := w.Batch(2*round + 1)
+				total += timeMS(func() {
+					tree.InsertBatched(ins)
+					tree.RemoveBatched(rem)
+				})
+			}
+			s := tree.Stats()
+			dead := 0.0
+			if s.LiveKeys > 0 {
+				dead = float64(s.DeadKeys) / float64(s.LiveKeys)
+			}
+			rows = append(rows, LeafSlackRow{
+				Slack:       slack,
+				C:           c,
+				ChurnMS:     total,
+				LeafGrows:   s.LeafGrows,
+				ChunkBuilds: s.ChunkBuilds,
+				DeadRatio:   dead,
+				FinalHgt:    s.Height,
+			})
+		}
+	}
+	return rows
+}

@@ -67,6 +67,22 @@ type Publisher interface {
 	PublishVersion()
 }
 
+// RebuildScheduled is the optional engine extension for amortized
+// rebuild scheduling (core's sched.go): an engine that implements it
+// has its epochs bracketed so one rebuild budget covers everything the
+// epoch's write traversals spend. BeginRebuildEpoch runs before the
+// epoch executes (and splices any finished background rebuild in, so
+// the epoch serves the repaired shape); EndRebuildEpoch runs after the
+// epoch publishes — the moment the live tree is frozen — draining
+// deferred debt synchronously or kicking the next background rebuild,
+// and reports the rebuild keys the epoch spent plus the debt still
+// outstanding, which the epoch trace records. Both are cheap no-ops on
+// an engine without a configured budget.
+type RebuildScheduled interface {
+	BeginRebuildEpoch()
+	EndRebuildEpoch() (spentKeys, debtKeys int)
+}
+
 // Scratch is the per-epoch scratch arena of one or more Combiners:
 // size-classed free lists for the event lists, distinct-key arrays,
 // result side arrays, and write batches an epoch borrows and returns.
@@ -208,8 +224,9 @@ type op[K cmp.Ordered, V any] struct {
 // through epochs executed on a single Engine. Create one with New;
 // all exported methods are safe for concurrent use.
 type Combiner[K cmp.Ordered, V any] struct {
-	eng  Engine[K, V] //pbist:guardedby combiner
-	pub  Publisher    //pbist:guardedby combiner — eng's Publisher side, nil if not implemented
+	eng  Engine[K, V]     //pbist:guardedby combiner
+	pub  Publisher        //pbist:guardedby combiner — eng's Publisher side, nil if not implemented
+	rs   RebuildScheduled //pbist:guardedby combiner — eng's rebuild-scheduler side, nil if not implemented
 	pool *parallel.Pool
 	opts Options
 
@@ -297,8 +314,10 @@ func NewShared[K cmp.Ordered, V any](eng Engine[K, V], pool *parallel.Pool, opts
 	}
 	scr.Observe(opts.Metrics, "combine.scratch")
 	// An engine that publishes versions gets PublishVersion called at
-	// the end of every epoch; detected once here, not per epoch.
+	// the end of every epoch; one with a rebuild scheduler gets its
+	// epochs bracketed. Both detected once here, not per epoch.
 	pub, _ := eng.(Publisher)
+	rs, _ := eng.(RebuildScheduled)
 	c := &Combiner[K, V]{
 		eng:      eng,
 		pool:     pool,
@@ -307,6 +326,7 @@ func NewShared[K cmp.Ordered, V any](eng Engine[K, V], pool *parallel.Pool, opts
 		loopDone: make(chan struct{}),
 		scr:      scr,
 		pub:      pub,
+		rs:       rs,
 		probe:    newProbe(opts.Metrics, opts.TraceDepth, opts.ID),
 	}
 	c.opPool.New = func() any {

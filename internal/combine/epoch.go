@@ -32,6 +32,14 @@ func (c *Combiner[K, V]) runEpoch(ops []*op[K, V], keyCount int, sized bool) {
 	start := time.Now()
 	pr := c.probe
 
+	// Open the epoch's rebuild budget before any traversal: a finished
+	// background rebuild splices in here, so this epoch already serves
+	// the repaired shape, and every rebuild the write traversals below
+	// spend shares one per-epoch cap (core's sched.go).
+	if c.rs != nil {
+		c.rs.BeginRebuildEpoch()
+	}
+
 	// Flatten the epoch into events. Fences carry no keys and resolve
 	// after the writes. The event list and every per-run array below
 	// are arena scratch: borrowed here, returned at the end of this
@@ -77,8 +85,8 @@ func (c *Combiner[K, V]) runEpoch(ops []*op[K, V], keyCount int, sized bool) {
 
 	// The phase stamps below are taken only when the combiner is
 	// observed; together with start and end they tile the epoch into
-	// the sort/read/replay/write/publish spans of its trace.
-	var tSort, tRead, tReplay, tWrite time.Time
+	// the sort/read/replay/write/rebuild/publish spans of its trace.
+	var tSort, tRead, tReplay, tWrite, tSched time.Time
 	if pr != nil {
 		tSort = time.Now()
 	}
@@ -156,6 +164,18 @@ func (c *Combiner[K, V]) runEpoch(ops []*op[K, V], keyCount int, sized bool) {
 	if pr != nil {
 		tWrite = time.Now()
 	}
+	// Close the rebuild budget after the publish: this is the moment
+	// the live tree is frozen (identical to the just-published
+	// version), so the scheduler can drain deferred debt synchronously
+	// or kick a background rebuild whose splice-by-pointer-identity
+	// check stays sound. The spent/debt figures feed the epoch trace.
+	var rbSpent, rbDebt int
+	if c.rs != nil {
+		rbSpent, rbDebt = c.rs.EndRebuildEpoch()
+	}
+	if pr != nil {
+		tSched = time.Now()
+	}
 
 	// Fences linearize here, after every keyed operation of the epoch.
 	for _, o := range ops {
@@ -206,7 +226,7 @@ func (c *Combiner[K, V]) runEpoch(ops []*op[K, V], keyCount int, sized bool) {
 	c.smu.Unlock()
 
 	if pr != nil {
-		c.traceEpoch(ops, keyCount, sized, start, tSort, tRead, tReplay, tWrite, time.Now())
+		c.traceEpoch(ops, keyCount, sized, rbSpent, rbDebt, start, tSort, tRead, tReplay, tWrite, tSched, time.Now())
 	}
 
 	for _, o := range ops {

@@ -38,6 +38,7 @@ type treeArena[K iindex.Numeric, V any] struct {
 
 	chunkBuilds atomic.Int64 // chunked subtree (re)builds
 	chunkKeys   atomic.Int64 // key slots laid into chunks
+	leafGrows   atomic.Int64 // leaf merges that reallocated (LeafSlack)
 
 	// obsOnce makes observe idempotent: an arena shared by a whole
 	// shard group registers its gauges exactly once.

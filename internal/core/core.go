@@ -78,6 +78,29 @@ type Config struct {
 	// Traverse selects the batched traversal mode. Default
 	// TraverseInterpolation.
 	Traverse TraverseMode
+	// RebuildBudgetPerEpoch caps the number of rebuild keys one
+	// mutating epoch (or one standalone batched mutation) may lay
+	// down. 0 (the default) keeps today's eager policy: every §7.1
+	// trigger rebuilds inline, however large. A positive budget defers
+	// triggers the epoch cannot afford — the subtree is recorded as
+	// rebuild debt and the mutation proceeds — and repays debt in
+	// later epochs, highest debt first (sched.go).
+	RebuildBudgetPerEpoch int
+	// AsyncRebuild drains deferred rebuild debt on a background
+	// goroutine instead of inside later epochs: the indebted subtree
+	// is rebuilt from the frozen published version while readers and
+	// the combiner keep serving, and the result is spliced in at an
+	// epoch boundary. Effective only with RebuildBudgetPerEpoch set on
+	// a publishing tree (EnablePublish); otherwise deferred debt
+	// drains synchronously.
+	AsyncRebuild bool
+	// LeafSlack is the capacity headroom factor of reallocated leaf
+	// arrays: a leaf merge that outgrows its storage allocates
+	// ceil(LeafSlack·n) slots for its n keys, so the next few merges
+	// into the same leaf run in place. 1.0 means exact-size (every
+	// merge reallocates), larger trades dead space for fewer
+	// reallocations. Default 1.5.
+	LeafSlack float64
 	// DisableBufferReuse turns off the tree-owned scratch arena:
 	// every internal temporary is then allocated fresh and dropped,
 	// as if the arena did not exist. The default (false) recycles
@@ -103,6 +126,9 @@ func (c Config) withDefaults() Config {
 	if c.IndexSizeFactor <= 0 {
 		c.IndexSizeFactor = iindex.DefaultSizeFactor
 	}
+	if c.LeafSlack < 1 {
+		c.LeafSlack = 1.5
+	}
 	return c
 }
 
@@ -123,6 +149,10 @@ type Tree[K iindex.Numeric, V any] struct {
 	mv       *mvccState[K, V]
 	writeGen uint64
 	dirty    bool // mutations since the last publish
+
+	// sched is the amortized rebuild scheduler (sched.go); nil — the
+	// default — means every rebuild trigger runs eagerly inline.
+	sched *rebuildSched[K, V]
 }
 
 // node is one IST node (§3.1 plus the bookkeeping of §6–§7). Leaves
@@ -162,10 +192,11 @@ func (v *node[K, V]) isLeaf() bool { return v.children == nil }
 func New[K iindex.Numeric, V any](cfg Config, pool *parallel.Pool) *Tree[K, V] {
 	cfg = cfg.withDefaults()
 	t := &Tree[K, V]{
-		cfg:  cfg,
-		pool: pool,
-		ar:   newTreeArena[K, V](cfg.DisableBufferReuse),
-		obs:  newCoreObs(cfg.Metrics),
+		cfg:   cfg,
+		pool:  pool,
+		ar:    newTreeArena[K, V](cfg.DisableBufferReuse),
+		obs:   newCoreObs(cfg.Metrics),
+		sched: newSched[K, V](cfg),
 	}
 	t.ar.observe(cfg.Metrics)
 	return t
@@ -182,7 +213,7 @@ func NewWithArena[K iindex.Numeric, V any](cfg Config, pool *parallel.Pool, sa *
 		return New[K, V](cfg, pool)
 	}
 	cfg = cfg.withDefaults()
-	t := &Tree[K, V]{cfg: cfg, pool: pool, ar: sa.ar, obs: newCoreObs(cfg.Metrics)}
+	t := &Tree[K, V]{cfg: cfg, pool: pool, ar: sa.ar, obs: newCoreObs(cfg.Metrics), sched: newSched[K, V](cfg)}
 	t.ar.observe(cfg.Metrics)
 	return t
 }

@@ -23,6 +23,7 @@ func (t *Tree[K, V]) InsertBatched(keys []K) int {
 	if len(keys) == 0 {
 		return 0
 	}
+	t.beginBatch()
 	present := t.ar.bools.GetZero(len(keys))
 	t.containsInto(keys, present)
 	freshBuf := t.ar.keys.Get(len(keys))
@@ -55,6 +56,7 @@ func (t *Tree[K, V]) PutBatched(keys []K, vals []V) int {
 	if len(keys) == 0 {
 		return 0
 	}
+	t.beginBatch()
 	present := t.ar.bools.GetZero(len(keys))
 	t.containsInto(keys, present)
 	hitKBuf := t.ar.keys.Get(len(keys))
@@ -140,10 +142,16 @@ func (t *Tree[K, V]) insertRec(v *node[K, V], keys []K, vals []V, l, r int) *nod
 	}
 	k := r - l
 	if t.rebuildDue(v, k) {
-		// §7.1 step 2a: the recursion stops here for this subtree.
-		root := t.rebuildMerged(v, keys, vals, l, r)
-		t.retireSubtree(v)
-		return root
+		// §7.1 step 2a: the recursion stops here for this subtree —
+		// unless the epoch's rebuild budget cannot cover it, in which
+		// case the subtree is recorded as debt and the insertion
+		// proceeds below (sched.go).
+		if t.tryReserveRebuild(v.size + k) {
+			root := t.rebuildMerged(v, keys, vals, l, r)
+			t.retireSubtree(v)
+			return root
+		}
+		t.deferRebuild(v, k, v.size+k)
 	}
 	v = t.owned(v)
 	v.modCnt += k
@@ -171,7 +179,11 @@ func (t *Tree[K, V]) insertRec(v *node[K, V], keys []K, vals []V, l, r int) *nod
 		if len(absentK) > 0 {
 			avBuf := t.ar.vals.Get(seg)
 			absentV := parallel.FilterIndexInto(t.pool, vals[l:r], avBuf, func(i int) bool { return pf[i]&1 == 0 })
-			v.rep, v.vals, v.exists = mergeLeafPF(v.rep, v.vals, v.exists, absentK, absentV, nil, len(absentK))
+			var grew bool
+			v.rep, v.vals, v.exists, grew = mergeLeafPF(v.rep, v.vals, v.exists, absentK, absentV, nil, len(absentK), t.cfg.LeafSlack)
+			if grew {
+				t.ar.leafGrows.Add(1)
+			}
 			t.ar.vals.Put(avBuf)
 		}
 		t.ar.keys.Put(akBuf)

@@ -32,6 +32,31 @@ func newCoreObs(r *obs.Registry) *coreObs {
 	}
 }
 
+// obsNow stamps the start of an observed event: time.Now() when the
+// tree records metrics, the zero Time otherwise — the same "stamp only
+// when observed" discipline the inline rebuild paths follow, packaged
+// for call sites outside this file (the scheduler's drain rebuilds).
+func obsNow(o *coreObs) time.Time {
+	if o == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// observe registers the rebuild scheduler's counters as live gauges
+// under the "core.rebuild." prefix. Func-backed gauges sum across
+// registrations, so a shard group sharing one registry reads group
+// totals, matching the arena and MVCC gauges.
+func (c *schedCounters) observe(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.Func("core.rebuild.debt_keys", c.debtKeys.Load)
+	r.Func("core.rebuild.deferred_keys", c.deferredKeys.Load)
+	r.Func("core.rebuild.async_count", c.asyncRuns.Load)
+	r.Func("core.rebuild.splice_retries", c.spliceRetries.Load)
+}
+
 // recordRebuild stores one §7.1 rebuild event: a subtree of size keys
 // rebuilt ideally in the time elapsed since t0. No-op on an unobserved
 // tree — callers stamp t0 only when t.obs is set, so the hot path pays

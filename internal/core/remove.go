@@ -17,6 +17,7 @@ func (t *Tree[K, V]) RemoveBatched(keys []K) int {
 	if len(keys) == 0 {
 		return 0
 	}
+	t.beginBatch()
 	present := t.ar.bools.GetZero(len(keys))
 	t.containsInto(keys, present)
 	doomedBuf := t.ar.keys.Get(len(keys))
@@ -42,10 +43,16 @@ func (t *Tree[K, V]) removeRec(v *node[K, V], keys []K, l, r int) *node[K, V] {
 	}
 	k := r - l
 	if t.rebuildDue(v, k) {
-		// §7.1 step 2b: the recursion stops here for this subtree.
-		root := t.rebuildSubtracted(v, keys, l, r)
-		t.retireSubtree(v)
-		return root
+		// §7.1 step 2b: the recursion stops here for this subtree —
+		// unless the epoch's budget cannot cover the v.size−k keys the
+		// rebuild would lay down; then the subtree is recorded as debt
+		// and the removal proceeds below (sched.go).
+		if t.tryReserveRebuild(v.size - k) {
+			root := t.rebuildSubtracted(v, keys, l, r)
+			t.retireSubtree(v)
+			return root
+		}
+		t.deferRebuild(v, k, v.size-k)
 	}
 	v = t.owned(v)
 	v.modCnt += k

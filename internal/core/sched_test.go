@@ -1,0 +1,237 @@
+package core
+
+import (
+	"math/rand"
+	"slices"
+	"sync"
+	"testing"
+	"time"
+)
+
+// schedMutation is one step of a deterministic churn script: a put
+// batch or a remove batch, shared verbatim across scheduler configs by
+// the differential tests.
+type schedMutation struct {
+	put  bool
+	keys []int64
+	vals []int64
+}
+
+// schedScript builds a write-heavy churn script: puts with a skewed
+// reinsert rate plus periodic removes, sized so the root trips its
+// rebuild budget several times over the run.
+func schedScript(seed int64, steps, batch int) []schedMutation {
+	r := rand.New(rand.NewSource(seed))
+	script := make([]schedMutation, 0, steps)
+	for i := 0; i < steps; i++ {
+		keys := sortedUniqueKeys(r.Int63(), batch, 1<<16)
+		if i%4 == 3 {
+			script = append(script, schedMutation{keys: keys})
+			continue
+		}
+		vals := make([]int64, len(keys))
+		for j := range vals {
+			vals[j] = r.Int63()
+		}
+		script = append(script, schedMutation{put: true, keys: keys, vals: vals})
+	}
+	return script
+}
+
+// applyScript runs script against tr. When epochs is true every step is
+// bracketed the way the combiner brackets an epoch — BeginRebuildEpoch,
+// mutate, PublishVersion, EndRebuildEpoch — and the per-epoch rebuild
+// spend is asserted against budget (0 disables the assertion).
+func applyScript(t *testing.T, tr *Tree[int64, int64], script []schedMutation, epochs bool, budget int) {
+	t.Helper()
+	for i, m := range script {
+		if epochs {
+			tr.BeginRebuildEpoch()
+		}
+		if m.put {
+			tr.PutBatched(m.keys, m.vals)
+		} else {
+			tr.RemoveBatched(m.keys)
+		}
+		if epochs {
+			tr.PublishVersion()
+			spent, _ := tr.EndRebuildEpoch()
+			if budget > 0 && spent > budget {
+				t.Fatalf("step %d: epoch spent %d rebuild keys, budget %d", i, spent, budget)
+			}
+		}
+	}
+}
+
+// drainAsync runs empty epochs until the scheduler's debt heap empties:
+// each round splices any finished background rebuild, republishes, and
+// kicks the next job. Fails the test if debt does not converge.
+func drainAsync(t *testing.T, tr *Tree[int64, int64]) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		tr.BeginRebuildEpoch()
+		tr.PublishVersion()
+		tr.EndRebuildEpoch()
+		tr.sched.mu.Lock()
+		debt := len(tr.sched.heap)
+		busy := tr.sched.job != nil
+		tr.sched.mu.Unlock()
+		if debt == 0 && !busy {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("async drain did not converge: %d debt records outstanding", debt)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestRebuildBudgetStandaloneBatches: without epoch bracketing, every
+// batched mutation is its own budget window — the spend after any batch
+// never exceeds the cap, and deferred debt is tracked, not lost.
+func TestRebuildBudgetStandaloneBatches(t *testing.T) {
+	const budget = 512
+	for name, p := range corePools() {
+		t.Run(name, func(t *testing.T) {
+			tr := New[int64, int64](Config{RebuildBudgetPerEpoch: budget}, p)
+			for i, m := range schedScript(11, 120, 512) {
+				if m.put {
+					tr.PutBatched(m.keys, m.vals)
+				} else {
+					tr.RemoveBatched(m.keys)
+				}
+				tr.sched.mu.Lock()
+				spent := tr.sched.spent
+				tr.sched.mu.Unlock()
+				if spent > budget {
+					t.Fatalf("batch %d: spent %d rebuild keys, budget %d", i, spent, budget)
+				}
+			}
+			checkInvariants(t, tr)
+			if tr.Stats().DeferredKeys == 0 {
+				t.Fatal("write-heavy churn never deferred a rebuild; budget not exercised")
+			}
+		})
+	}
+}
+
+// TestRebuildBudgetEpochCap: under combiner-style epoch bracketing the
+// spend EndRebuildEpoch reports — write-traversal rebuilds plus the
+// post-publish drain — respects the cap every epoch, in both bounded
+// modes. This is the acceptance assertion behind the epoch traces.
+func TestRebuildBudgetEpochCap(t *testing.T) {
+	const budget = 1024
+	for _, async := range []bool{false, true} {
+		name := "bounded-sync"
+		if async {
+			name = "async"
+		}
+		t.Run(name, func(t *testing.T) {
+			tr := New[int64, int64](Config{RebuildBudgetPerEpoch: budget, AsyncRebuild: async}, nil)
+			tr.EnablePublish()
+			applyScript(t, tr, schedScript(7, 200, 512), true, budget)
+			checkInvariants(t, tr)
+			st := tr.Stats()
+			if st.DeferredKeys == 0 {
+				t.Fatal("write-heavy churn never deferred a rebuild; budget not exercised")
+			}
+			if async {
+				drainAsync(t, tr)
+				if d := tr.Stats().DebtKeys; d != 0 {
+					t.Fatalf("debt gauge %d after async drain, want 0", d)
+				}
+				if tr.Stats().AsyncRebuilds == 0 {
+					t.Fatal("async mode launched no background rebuilds")
+				}
+				checkInvariants(t, tr)
+			}
+		})
+	}
+}
+
+// TestSchedDifferentialConvergence: one churn script applied under
+// eager, bounded-sync, and async scheduling converges to identical
+// contents — scheduling moves rebuild work in time, never changes what
+// the tree stores — and every variant passes the full invariant check.
+func TestSchedDifferentialConvergence(t *testing.T) {
+	script := schedScript(42, 160, 384)
+
+	eager := New[int64, int64](Config{}, nil)
+	eager.EnablePublish()
+	applyScript(t, eager, script, true, 0)
+
+	bounded := New[int64, int64](Config{RebuildBudgetPerEpoch: 256}, nil)
+	bounded.EnablePublish()
+	applyScript(t, bounded, script, true, 256)
+
+	async := New[int64, int64](Config{RebuildBudgetPerEpoch: 256, AsyncRebuild: true}, nil)
+	async.EnablePublish()
+	applyScript(t, async, script, true, 256)
+	drainAsync(t, async)
+
+	wantK, wantV := eager.Items()
+	for _, v := range []struct {
+		name string
+		tr   *Tree[int64, int64]
+	}{{"bounded-sync", bounded}, {"async", async}} {
+		gotK, gotV := v.tr.Items()
+		if !slices.Equal(gotK, wantK) || !slices.Equal(gotV, wantV) {
+			t.Fatalf("%s diverged from eager: %d keys vs %d", v.name, len(gotK), len(wantK))
+		}
+		checkInvariants(t, v.tr)
+	}
+	checkInvariants(t, eager)
+}
+
+// TestAsyncRebuildWithSnapshotReaders races background rebuilds and
+// their splices against wait-free snapshot readers across many
+// reclamation grace periods: readers pin versions, iterate durable
+// snapshots, and must never observe a key the published version did
+// not contain. Run under -race this also checks the splice path
+// publishes the rebuilt subtree safely.
+func TestAsyncRebuildWithSnapshotReaders(t *testing.T) {
+	tr := New[int64, int64](Config{RebuildBudgetPerEpoch: 128, AsyncRebuild: true}, nil)
+	tr.EnablePublish()
+	tr.PublishVersion()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch r.Intn(3) {
+				case 0:
+					tr.SnapshotContains(r.Int63n(1 << 14))
+				case 1:
+					if v, ok := tr.SnapshotGet(r.Int63n(1 << 14)); ok && v < 0 {
+						panic("negative value from snapshot")
+					}
+				default:
+					snap := tr.SnapshotNow()
+					k := snap.Keys()
+					if !slices.IsSorted(k) {
+						panic("snapshot keys unsorted")
+					}
+				}
+			}
+		}(int64(g) + 1)
+	}
+
+	// Small key span + small batches force heavy leaf churn and many
+	// subtree retirements, cycling the grace ring while readers hold
+	// pins; the async drain splices mid-churn.
+	applyScript(t, tr, schedScript(99, 250, 128), true, 128)
+	drainAsync(t, tr)
+	close(stop)
+	wg.Wait()
+	checkInvariants(t, tr)
+}

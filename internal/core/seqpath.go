@@ -168,9 +168,12 @@ func (t *Tree[K, V]) insertSeq(v *node[K, V], keys []K, vals []V, l, r int, sc *
 	}
 	k := r - l
 	if t.rebuildDue(v, k) {
-		root := t.rebuildMerged(v, keys, vals, l, r)
-		t.retireSubtree(v)
-		return root
+		if t.tryReserveRebuild(v.size + k) {
+			root := t.rebuildMerged(v, keys, vals, l, r)
+			t.retireSubtree(v)
+			return root
+		}
+		t.deferRebuild(v, k, v.size+k) // over budget: debt, not rebuild
 	}
 	v = t.owned(v)
 	v.modCnt += k
@@ -188,7 +191,11 @@ func (t *Tree[K, V]) insertSeq(v *node[K, V], keys []K, vals []V, l, r int, sc *
 	}
 	if v.isLeaf() {
 		if found < seg {
-			v.rep, v.vals, v.exists = mergeLeafPF(v.rep, v.vals, v.exists, keys[l:r], vals[l:r], pf, seg-found)
+			var grew bool
+			v.rep, v.vals, v.exists, grew = mergeLeafPF(v.rep, v.vals, v.exists, keys[l:r], vals[l:r], pf, seg-found, t.cfg.LeafSlack)
+			if grew {
+				t.ar.leafGrows.Add(1)
+			}
 		}
 		return v
 	}
@@ -244,9 +251,12 @@ func (t *Tree[K, V]) updateSeq(v *node[K, V], keys []K, vals []V, l, r int, sc *
 func (t *Tree[K, V]) removeSeq(v *node[K, V], keys []K, l, r int, sc *scratch, depth int) *node[K, V] {
 	k := r - l
 	if t.rebuildDue(v, k) {
-		root := t.rebuildSubtracted(v, keys, l, r)
-		t.retireSubtree(v)
-		return root
+		if t.tryReserveRebuild(v.size - k) {
+			root := t.rebuildSubtracted(v, keys, l, r)
+			t.retireSubtree(v)
+			return root
+		}
+		t.deferRebuild(v, k, v.size-k) // over budget: debt, not rebuild
 	}
 	v = t.owned(v)
 	v.modCnt += k
@@ -284,13 +294,15 @@ func (t *Tree[K, V]) removeSeq(v *node[K, V], keys []K, l, r int, sc *scratch, d
 //
 // When the leaf's arrays have spare capacity the merge runs in place
 // (backward, so sources are consumed before being overwritten);
-// otherwise fresh arrays are allocated with headroom, so the next few
-// merges into the same leaf cost nothing. Chunk-carved arrays are
+// otherwise fresh arrays are allocated with slack·n capacity
+// (Config.LeafSlack), so the next few merges into the same leaf cost
+// nothing — grew reports that reallocation, feeding the leaf-growth
+// counter the leafslack experiment sweeps. Chunk-carved arrays are
 // capacity-clamped and therefore always take the allocating path on
 // their first merge, which is what keeps leaf growth out of shared
 // chunk storage. The arrays are leaf-retained either way, so they
 // never come from recycled scratch.
-func mergeLeafPF[K iindex.Numeric, V any](rep []K, vals []V, exists []bool, batchK []K, batchV []V, pf []int32, absent int) ([]K, []V, []bool) {
+func mergeLeafPF[K iindex.Numeric, V any](rep []K, vals []V, exists []bool, batchK []K, batchV []V, pf []int32, absent int, slack float64) ([]K, []V, []bool, bool) {
 	skip := func(j int) bool { return pf != nil && pf[j]&1 == 1 }
 	n := len(rep) + absent
 	if cap(rep) >= n && cap(vals) >= n && cap(exists) >= n {
@@ -313,9 +325,9 @@ func mergeLeafPF[K iindex.Numeric, V any](rep []K, vals []V, exists []bool, batc
 			exists[w] = true
 			w--
 		}
-		return rep, vals, exists
+		return rep, vals, exists, false
 	}
-	grown := n + n/2 // headroom for in-place follow-up merges
+	grown := n + int(float64(n)*(slack-1)) // headroom for in-place follow-up merges
 	nr := make([]K, 0, grown)
 	nv := make([]V, 0, grown)
 	ne := make([]bool, 0, grown)
@@ -350,5 +362,5 @@ func mergeLeafPF[K iindex.Numeric, V any](rep []K, vals []V, exists []bool, batc
 		nv = append(nv, batchV[j])
 		ne = append(ne, true)
 	}
-	return nr, nv, ne
+	return nr, nv, ne, true
 }

@@ -25,6 +25,22 @@ type Stats struct {
 	ScratchReuses int64
 	ChunkBuilds   int64
 	ChunkKeys     int64
+
+	// LeafGrows counts leaf merges that outgrew their arrays and
+	// reallocated with LeafSlack headroom — the realloc-rate axis of
+	// the leafslack experiment.
+	LeafGrows int64
+
+	// Rebuild-scheduler counters (sched.go); all zero without
+	// Config.RebuildBudgetPerEpoch. DebtKeys is the outstanding
+	// rebuild debt (a gauge); DeferredKeys the cumulative rebuild keys
+	// whose work was deferred past its triggering epoch; AsyncRebuilds
+	// the background rebuilds launched; SpliceRetries the async
+	// splices abandoned because the subtree changed mid-build.
+	DebtKeys      int64
+	DeferredKeys  int64
+	AsyncRebuilds int64
+	SpliceRetries int64
 }
 
 // Stats computes shape statistics in one O(n) traversal and snapshots
@@ -38,6 +54,13 @@ func (t *Tree[K, V]) Stats() Stats {
 	s.ScratchGets, s.ScratchReuses = t.ar.scratchStats()
 	s.ChunkBuilds = t.ar.chunkBuilds.Load()
 	s.ChunkKeys = t.ar.chunkKeys.Load()
+	s.LeafGrows = t.ar.leafGrows.Load()
+	if sc := t.sched; sc != nil {
+		s.DebtKeys = sc.c.debtKeys.Load()
+		s.DeferredKeys = sc.c.deferredKeys.Load()
+		s.AsyncRebuilds = sc.c.asyncRuns.Load()
+		s.SpliceRetries = sc.c.spliceRetries.Load()
+	}
 	return s
 }
 

@@ -6,8 +6,8 @@ import (
 )
 
 // maxPhases bounds the named phases one EpochTrace can carry. The
-// combiner records five (sort, read, replay, write, publish); the
-// headroom is for future phases without a layout change.
+// combiner records six (sort, read, replay, write, rebuild, publish);
+// the headroom is for future phases without a layout change.
 const maxPhases = 8
 
 // PhaseSpan is one named slice of an epoch's wall time.
@@ -42,6 +42,12 @@ type EpochTrace struct {
 	Ops   int
 	Keys  int
 	Sized bool
+	// RebuildKeys is the rebuild work the epoch spent under its budget,
+	// in keys laid down; RebuildDebt is the deferred rebuild debt still
+	// outstanding when the epoch closed. Both are zero unless the engine
+	// runs a bounded rebuild scheduler.
+	RebuildKeys int
+	RebuildDebt int
 
 	phases  [maxPhases]PhaseSpan
 	nphases int

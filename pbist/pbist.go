@@ -107,6 +107,28 @@
 // stays valid after — while queue-path operations on a closed
 // frontend panic.
 //
+// # Rebuild scheduling
+//
+// The engine keeps itself balanced by rebuilding any subtree that has
+// absorbed more than RebuildFactor times its built size in
+// modifications. By default that rebuild runs eagerly, inside the
+// batch that crossed the threshold — amortized O(log log n) per key,
+// but an occasional O(n) stall when the root trips, which is exactly
+// the tail a latency-sensitive service notices. Setting
+// Options.RebuildBudgetPerEpoch caps the keys of rebuild work any one
+// batch (or combining epoch) spends; over-budget subtrees are
+// recorded as debt and repaid by later epochs, largest debt first.
+// Options.AsyncRebuild additionally moves repayment off the epoch
+// path under the combining frontends: the indebted subtree is rebuilt
+// from the last published version by a background goroutine while
+// readers keep using the old shape, and spliced in at a later epoch
+// boundary. Deferral trades peak latency for a transiently
+// less-balanced tree — reads of an indebted subtree pay the same
+// degraded (still-correct) cost they already paid between threshold
+// and rebuild. Stats reports outstanding debt, and epoch traces
+// carry per-epoch rebuild spend; see ARCHITECTURE.md's "Rebuild
+// scheduling" section.
+//
 // # Observability
 //
 // Setting Options.Metrics to a Metrics registry (NewMetrics) turns on
@@ -153,6 +175,30 @@ type Options struct {
 	// absorbed more than C times its built size in modifications.
 	// Default 2.
 	RebuildFactor int
+	// RebuildBudgetPerEpoch caps the rebuild work one mutating batch
+	// (or one combining epoch, under the concurrent frontends) may
+	// spend inline, measured in keys laid down. Subtrees whose rebuild
+	// does not fit the remaining budget are deferred as debt and
+	// repaid by later epochs, largest debt first, so a single O(n)
+	// root rebuild no longer lands in one victim operation's latency.
+	// 0 (the default) keeps the paper's eager behavior: every due
+	// rebuild runs inline in the triggering batch.
+	RebuildBudgetPerEpoch int
+	// AsyncRebuild moves deferred rebuild debt off the epoch path
+	// entirely: a background goroutine rebuilds the most indebted
+	// subtree from the last published version while readers and the
+	// combiner keep serving it, and the result is spliced in at a
+	// later epoch boundary (or abandoned, if the subtree changed
+	// mid-build). Effective only under the combining frontends
+	// (Concurrent, Sharded) with RebuildBudgetPerEpoch set; Tree and
+	// Map ignore it because they publish no versions to rebuild from.
+	AsyncRebuild bool
+	// LeafSlack scales the headroom a leaf merge reallocates with:
+	// a leaf outgrowing its array is regrown to n·LeafSlack so nearby
+	// future inserts merge in place. Values < 1 select the default
+	// 1.5. Larger values trade dead space for fewer reallocations;
+	// see the leafslack benchmark experiment.
+	LeafSlack float64
 	// IndexSizeFactor scales the per-node interpolation index.
 	// Default 1.0.
 	IndexSizeFactor float64
@@ -208,11 +254,14 @@ const (
 
 func (o Options) coreConfig() core.Config {
 	cfg := core.Config{
-		LeafCap:            o.LeafCap,
-		RebuildFactor:      o.RebuildFactor,
-		IndexSizeFactor:    o.IndexSizeFactor,
-		DisableBufferReuse: o.ReuseBuffers == ReuseOff,
-		Metrics:            o.Metrics,
+		LeafCap:               o.LeafCap,
+		RebuildFactor:         o.RebuildFactor,
+		RebuildBudgetPerEpoch: o.RebuildBudgetPerEpoch,
+		AsyncRebuild:          o.AsyncRebuild,
+		LeafSlack:             o.LeafSlack,
+		IndexSizeFactor:       o.IndexSizeFactor,
+		DisableBufferReuse:    o.ReuseBuffers == ReuseOff,
+		Metrics:               o.Metrics,
 	}
 	if o.RankTraversal {
 		cfg.Traverse = core.TraverseRank
@@ -308,6 +357,11 @@ func (vw *view[K, V]) Stats() Stats {
 		ScratchReuses: s.ScratchReuses,
 		ChunkBuilds:   s.ChunkBuilds,
 		ChunkKeys:     s.ChunkKeys,
+		LeafGrows:     s.LeafGrows,
+		DebtKeys:      s.DebtKeys,
+		DeferredKeys:  s.DeferredKeys,
+		AsyncRebuilds: s.AsyncRebuilds,
+		SpliceRetries: s.SpliceRetries,
 	}
 }
 
@@ -504,4 +558,20 @@ type Stats struct {
 	ScratchReuses int64
 	ChunkBuilds   int64
 	ChunkKeys     int64
+
+	// LeafGrows counts leaf merges that outgrew their arrays and
+	// reallocated with Options.LeafSlack headroom.
+	LeafGrows int64
+
+	// Rebuild-scheduler counters; all zero unless
+	// Options.RebuildBudgetPerEpoch is set. DebtKeys is the rebuild
+	// debt currently outstanding (a gauge, in keys); DeferredKeys the
+	// cumulative rebuild keys deferred past their triggering epoch;
+	// AsyncRebuilds the background rebuilds launched under
+	// Options.AsyncRebuild; SpliceRetries the async rebuilds abandoned
+	// because the subtree changed while it was being rebuilt.
+	DebtKeys      int64
+	DeferredKeys  int64
+	AsyncRebuilds int64
+	SpliceRetries int64
 }
